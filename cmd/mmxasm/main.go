@@ -1,0 +1,60 @@
+// Command mmxasm prints the assembly listing of any benchmark program in
+// the suite — useful for inspecting what the macro-assembled kernels,
+// libraries and applications actually execute.
+//
+// Usage:
+//
+//	mmxasm fir.mmx          # disassembly with labels
+//	mmxasm -stats matvec.c  # program statistics only
+//	mmxasm -list            # show available programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmxdsp/internal/suite"
+)
+
+func main() {
+	var (
+		stats = flag.Bool("stats", false, "print program statistics instead of the listing")
+		list  = flag.Bool("list", false, "list available programs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range suite.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mmxasm [-stats] <program>   (mmxasm -list for names)")
+		os.Exit(2)
+	}
+	bench, ok := suite.ByName(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mmxasm: unknown program %q (try -list)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	prog, err := bench.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmxasm: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("program:      %s\n", prog.Name)
+		fmt.Printf("instructions: %d\n", len(prog.Insts))
+		fmt.Printf("procedures:   %d\n", len(prog.Procs))
+		fmt.Printf("data bytes:   %d\n", len(prog.Data))
+		fmt.Printf("bss bytes:    %d\n", prog.BSSSize)
+		fmt.Printf("image size:   %d\n", prog.MemSize)
+		for _, p := range prog.Procs {
+			fmt.Printf("  proc %-24s [%d, %d)\n", p.Name, p.Start, p.End)
+		}
+		return
+	}
+	fmt.Print(prog.Listing())
+}

@@ -1,0 +1,118 @@
+// Command mmxbench runs the benchmark suite on the simulated
+// Pentium-with-MMX and regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	mmxbench                  # run everything, print all tables and figures
+//	mmxbench -only fft,image  # restrict to some benchmark families
+//	mmxbench -table3 -csv     # one artifact, machine-readable
+//	mmxbench -skip-check      # skip output validation (faster)
+//	mmxbench -emms 0          # ablation: free emms
+//	mmxbench -mmxmul 10       # ablation: unpipelined 10-cycle MMX multiplier
+//	mmxbench -perfect-cache   # ablation: no cache penalties
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/pentium"
+	"mmxdsp/internal/suite"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table 1 (benchmark summary)")
+		table2 = flag.Bool("table2", false, "print Table 2 (instruction characteristics)")
+		table3 = flag.Bool("table3", false, "print Table 3 (non-MMX/MMX ratios)")
+		fig1a  = flag.Bool("fig1a", false, "print Figure 1(a) (MMX instruction mix)")
+		fig1b  = flag.Bool("fig1b", false, "print Figure 1(b) (instruction-count ratios)")
+		fig2a  = flag.Bool("fig2a", false, "print Figure 2(a) (C-only/MMX ratios)")
+		fig2b  = flag.Bool("fig2b", false, "print Figure 2(b) (FP/MMX ratios)")
+		notes  = flag.Bool("notes", false, "print Section 4 narrative metrics")
+		csv    = flag.Bool("csv", false, "CSV output for tables 2 and 3")
+		md     = flag.Bool("markdown", false, "full evaluation as a Markdown document")
+
+		only      = flag.String("only", "", "comma-separated benchmark families (e.g. fft,image)")
+		skipCheck = flag.Bool("skip-check", false, "skip output validation")
+
+		perfectCache = flag.Bool("perfect-cache", false, "ablation: disable the cache model")
+		noPairing    = flag.Bool("no-pairing", false, "ablation: disable dual issue")
+		noBTB        = flag.Bool("no-btb", false, "ablation: disable branch prediction")
+		emms         = flag.Int("emms", -1, "override emms latency (cycles; -1 = default 50)")
+		mmxMul       = flag.Int("mmxmul", 0, "override MMX multiplier latency (0 = default pipelined 3)")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *table2 || *table3 || *fig1a || *fig1b || *fig2a || *fig2b || *notes)
+
+	opt := core.DefaultOptions()
+	opt.SkipCheck = *skipCheck
+	opt.PerfectCache = *perfectCache
+	cfg := pentium.DefaultConfig()
+	cfg.DisablePairing = *noPairing
+	cfg.DisableBTB = *noBTB
+	cfg.EmmsLatency = *emms
+	cfg.MMXMulLatency = *mmxMul
+	opt.Pentium = cfg
+
+	benches := suite.All()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+		var filtered []core.Benchmark
+		for _, b := range benches {
+			if want[b.Base] {
+				filtered = append(filtered, b)
+			}
+		}
+		benches = filtered
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "mmxbench: no benchmarks selected")
+		os.Exit(2)
+	}
+
+	rs := core.ResultSet{}
+	for _, b := range benches {
+		fmt.Fprintf(os.Stderr, "running %-12s ...", b.Name())
+		r, err := core.Run(b, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, " FAILED\nmmxbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " %12d cycles, %10d instructions\n",
+			r.Report.Cycles, r.Report.DynamicInstructions)
+		rs[b.Name()] = r
+	}
+	fmt.Fprintln(os.Stderr)
+
+	show := func(enabled bool, text string) {
+		if all || enabled {
+			fmt.Println(text)
+		}
+	}
+	if *md {
+		fmt.Print(core.MarkdownReport(rs))
+		return
+	}
+	if *csv {
+		show(*table2, core.Table2CSV(rs))
+		show(*table3, core.Table3CSV(rs))
+		return
+	}
+	show(*table1, core.Table1(benches))
+	show(*table2, core.Table2(rs))
+	show(*table3, core.Table3(rs))
+	show(*fig1a, core.Fig1a(rs))
+	show(*fig1b, core.Fig1b(rs))
+	show(*fig2a, core.Fig2a(rs))
+	show(*fig2b, core.Fig2b(rs))
+	show(*notes, core.Notes(rs))
+}

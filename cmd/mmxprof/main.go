@@ -1,0 +1,114 @@
+// Command mmxprof is the VTune-style deep profiler: it runs one benchmark
+// program and reports hotspots, the instruction mix by class, the MMX
+// category breakdown, branch and cache behavior, and call overhead — the
+// per-program analysis behind the paper's Section 4.
+//
+// Usage:
+//
+//	mmxprof jpeg.mmx
+//	mmxprof -top 20 radar.mmx
+//	mmxprof -list   # show available programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/suite"
+)
+
+func main() {
+	var (
+		top   = flag.Int("top", 10, "number of hot procedures to show")
+		list  = flag.Bool("list", false, "list available programs")
+		trace = flag.Int("trace", 0, "print the first N retired instructions of the measured region")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range suite.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mmxprof [-top N] <program>   (mmxprof -list for names)")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	bench, ok := suite.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mmxprof: unknown program %q (try -list)\n", name)
+		os.Exit(2)
+	}
+	opt := core.DefaultOptions()
+	if *trace > 0 {
+		opt.Trace = os.Stdout
+		opt.TraceLimit = *trace
+	}
+	res, err := core.Run(bench, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmxprof: %v\n", err)
+		os.Exit(1)
+	}
+	rep := res.Report
+
+	fmt.Printf("Program %s — %s\n\n", rep.Name, bench.Descr)
+	fmt.Printf("Clock cycles:          %12d\n", rep.Cycles)
+	fmt.Printf("Dynamic instructions:  %12d\n", rep.DynamicInstructions)
+	fmt.Printf("Dynamic micro-ops:     %12d (Pentium II decode)\n", rep.Uops)
+	fmt.Printf("Static instructions:   %12d\n", rep.StaticInstructions)
+	fmt.Printf("Memory references:     %12d (%.2f%% of instructions)\n",
+		rep.MemoryReferences, rep.PercentMemRefs())
+	fmt.Printf("MMX instructions:      %12d (%.2f%% of instructions)\n",
+		rep.MMXInstructions(), rep.PercentMMX())
+	fmt.Printf("Function calls:        %12d (call+ret: %.2f%% of cycles)\n",
+		rep.Calls, rep.CallRetCycleShare())
+	fmt.Printf("Branches:              %12d (%d mispredicted)\n", rep.Branches, rep.Mispredicts)
+	fmt.Printf("Instruction pairs:     %12d dual-issued\n", rep.Pairs)
+	if rep.CacheAccesses > 0 {
+		fmt.Printf("Cache: %d accesses, %d L1 misses (%.2f%%), %d L2 misses\n",
+			rep.CacheAccesses, rep.L1Misses,
+			100*float64(rep.L1Misses)/float64(rep.CacheAccesses), rep.L2Misses)
+	}
+
+	if mmx := rep.MMXInstructions(); mmx > 0 {
+		bd := rep.MMXBreakdown()
+		fmt.Printf("\nMMX category breakdown (%% of all instructions):\n")
+		for i, label := range []string{"pack/unpack", "mmx arithmetic", "mmx moves", "emms"} {
+			fmt.Printf("  %-16s %7.3f%%\n", label, bd[i])
+		}
+	}
+
+	fmt.Printf("\nInstruction mix by class (count / cycles):\n")
+	type classRow struct {
+		class  isa.Class
+		count  uint64
+		cycles uint64
+	}
+	var rows []classRow
+	for cl := 0; cl < isa.NumClasses; cl++ {
+		if rep.ClassCounts[cl] > 0 {
+			rows = append(rows, classRow{isa.Class(cl), rep.ClassCounts[cl], rep.ClassCycles[cl]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cycles > rows[j].cycles })
+	for _, r := range rows {
+		fmt.Printf("  %-10s %12d instrs  %12d cycles (%5.2f%%)\n",
+			r.class, r.count, r.cycles, 100*float64(r.cycles)/float64(rep.Cycles))
+	}
+
+	fmt.Printf("\nHot procedures (self cycles):\n")
+	n := *top
+	if n > len(rep.Procs) {
+		n = len(rep.Procs)
+	}
+	for _, p := range rep.Procs[:n] {
+		fmt.Printf("  %-24s %12d cycles (%5.2f%%)  %12d instrs\n",
+			p.Name, p.Cycles, 100*float64(p.Cycles)/float64(rep.Cycles), p.Instructions)
+	}
+}

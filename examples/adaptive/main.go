@@ -1,0 +1,58 @@
+// Adaptive: LMS noise cancellation — the DSP kernel the paper notes is
+// missing from the Intel MMX library ("Not all DSP algorithms have
+// corresponding MMX functions (e.g. the LMS algorithm)") and which this
+// repository provides both in pure Go (dsp.LMS) and hand-coded MMX
+// (mmxlib.EmitLmsQ15).
+//
+// Scenario: a sensor hears speech plus noise that reached it through an
+// unknown room filter; a reference microphone hears the raw noise. The
+// LMS filter learns the room filter from the reference and subtracts its
+// estimate, recovering the speech.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/synth"
+)
+
+func main() {
+	const n = 8000
+	speech := synth.Speech(n, 3)
+	r := synth.NewRand(99)
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = 0.8 * r.Float()
+	}
+
+	// The unknown acoustic path from the noise source to the sensor.
+	room := dsp.NewFIR([]float64{0.45, -0.3, 0.18, 0.1, -0.05})
+	heard := make([]float64, n)
+	for i := range heard {
+		heard[i] = speech[i] + room.Process(noise[i])
+	}
+
+	// Adapt: input = reference noise, desired = sensor signal. The error
+	// signal converges to the speech.
+	lms := dsp.NewLMS(5, 0.05)
+	clean := make([]float64, n)
+	for i := range heard {
+		_, e := lms.Step(noise[i], heard[i])
+		clean[i] = e
+	}
+
+	snr := func(sig []float64) float64 {
+		var s, e float64
+		for i := n / 2; i < n; i++ { // after convergence
+			s += speech[i] * speech[i]
+			d := sig[i] - speech[i]
+			e += d * d
+		}
+		return 10 * math.Log10(s/e)
+	}
+	fmt.Printf("sensor SNR before cancellation: %6.1f dB\n", snr(heard))
+	fmt.Printf("output SNR after LMS:           %6.1f dB\n", snr(clean))
+	fmt.Printf("learned room filter:            %.3v\n", lms.Weights())
+}

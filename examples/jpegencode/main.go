@@ -1,0 +1,37 @@
+// Jpegencode: compress a bitmap to a real JFIF file with the from-scratch
+// baseline JPEG encoder at several quality settings. The outputs decode
+// with any standard JPEG decoder.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mmxdsp/internal/bmp"
+	"mmxdsp/internal/jpegenc"
+	"mmxdsp/internal/synth"
+)
+
+func main() {
+	const w, h = 224, 160 // the paper's ~118 kB bitmap workload size
+	img, err := bmp.FromRGB(w, h, synth.ImageRGB(w, h, 0x7E6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := bmp.Encode(img)
+	if err := os.WriteFile("input.bmp", raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input.bmp: %d bytes (%dx%d, 24-bit)\n", len(raw), w, h)
+
+	for _, q := range []jpegenc.Quality{25, 50, 90} {
+		data := jpegenc.NewEncoder(q).Encode(img)
+		name := fmt.Sprintf("output_q%d.jpg", q)
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d bytes (%.1f:1)\n", name, len(data),
+			float64(len(raw))/float64(len(data)))
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: write a small MMX assembly program with the macro-assembler,
+// execute it on the simulated Pentium-with-MMX, and read the VTune-style
+// profile — the core workflow of this library in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/mem"
+	"mmxdsp/internal/pentium"
+	"mmxdsp/internal/profile"
+	"mmxdsp/internal/vm"
+)
+
+func main() {
+	// A saturating 16-bit vector add, 4 lanes per instruction.
+	const n = 1024
+	x := make([]int16, n)
+	y := make([]int16, n)
+	for i := range x {
+		x[i] = int16(i * 7)
+		y[i] = int16(30000)
+	}
+
+	b := asm.NewBuilder("quickstart")
+	b.Words("x", x)
+	b.Words("y", y)
+	b.Reserve("out", 2*n)
+	b.Proc("main")
+	b.I(isa.PROFON)
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0))
+	b.Label("loop")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.SymIdx(isa.SizeQ, "x", isa.ECX, 2, 0))
+	b.I(isa.PADDSW, asm.R(isa.MM0), asm.SymIdx(isa.SizeQ, "y", isa.ECX, 2, 0))
+	b.I(isa.MOVQ, asm.SymIdx(isa.SizeQ, "out", isa.ECX, 2, 0), asm.R(isa.MM0))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.Imm(4))
+	b.I(isa.CMP, asm.R(isa.ECX), asm.Imm(n))
+	b.J(isa.JL, "loop")
+	b.I(isa.EMMS)
+	b.I(isa.PROFOFF)
+	b.I(isa.HALT)
+
+	prog, err := b.Link()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := pentium.New(pentium.DefaultConfig())
+	col := profile.NewCollector(prog, model)
+	cpu := vm.New(prog)
+	cpu.Obs = col
+	cpu.Hier = mem.NewHierarchy()
+	if err := cpu.Run(1 << 20); err != nil {
+		log.Fatal(err)
+	}
+
+	out, _ := cpu.Mem.ReadInt16s(prog.Addr("out"), 8)
+	fmt.Printf("first outputs:  %v (saturating at 32767)\n", out)
+
+	rep := col.Report(prog.Name)
+	fmt.Printf("cycles:         %d\n", rep.Cycles)
+	fmt.Printf("instructions:   %d (%.1f%% MMX)\n", rep.DynamicInstructions, rep.PercentMMX())
+	fmt.Printf("per element:    %.2f cycles\n", float64(rep.Cycles)/float64(n))
+}

@@ -1,0 +1,3 @@
+module mmxdsp
+
+go 1.22

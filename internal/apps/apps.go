@@ -1,0 +1,22 @@
+// Package apps builds the paper's four application benchmarks — jpeg,
+// image, g722 and radar — in their C-only and MMX-library versions, with
+// Table 1's workloads: JPEG compression of a ~118 kB bitmap, dimming and
+// color-switching a 640x480 RGB image, G.722 encoding (and decoding) of a
+// 6 kB speech file, and Doppler processing of 12-gate radar echoes with a
+// 16-point FFT.
+//
+// Each program brackets its computation core with profon/profoff and is
+// validated against a Go model that mirrors its arithmetic exactly.
+package apps
+
+import "mmxdsp/internal/core"
+
+// Benchmarks returns all application benchmark versions.
+func Benchmarks() []core.Benchmark {
+	out := []core.Benchmark{}
+	out = append(out, Image()...)
+	out = append(out, Radar()...)
+	out = append(out, JPEG()...)
+	out = append(out, G722()...)
+	return out
+}

@@ -1,0 +1,315 @@
+package apps
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+)
+
+// This file emits the G.722 codec bodies. Registers follow one discipline:
+// ebp holds the current band-state pointer across helper calls; the helper
+// procedures (saturate, block4, logscl, logsch) preserve ebp; eax carries
+// values in and out. Scalar cells (dval, xlow, ...) pass the rest, exactly
+// like the reference C's file-scope state.
+
+// g722Op is a tiny emitter DSL shared by the codec procedures.
+type g722Op struct{ b *asm.Builder }
+
+func (e g722Op) ld(o isa.Operand)          { e.b.I(isa.MOV, asm.R(isa.EAX), o) }
+func (e g722Op) stEax(o isa.Operand)       { e.b.I(isa.MOV, o, asm.R(isa.EAX)) }
+func (e g722Op) cell(n string) isa.Operand { return asm.Sym(isa.SizeD, n, 0) }
+func (e g722Op) sat()                      { e.b.Call("saturate") }
+
+// mulShift emits eax = (eax * k) >> sh.
+func (e g722Op) mulShift(k int64, sh int64) {
+	e.b.I(isa.IMUL, asm.R(isa.EAX), asm.Imm(k))
+	e.b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(sh))
+}
+
+// clampEax emits eax = clamp(eax, lo, hi) with unique labels.
+func (e g722Op) clampEax(tag string, lo, hi int64) {
+	e.b.I(isa.CMP, asm.R(isa.EAX), asm.Imm(hi))
+	e.b.J(isa.JLE, tag+".hi")
+	e.b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(hi))
+	e.b.Label(tag + ".hi")
+	e.b.I(isa.CMP, asm.R(isa.EAX), asm.Imm(lo))
+	e.b.J(isa.JGE, tag+".lo")
+	e.b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(lo))
+	e.b.Label(tag + ".lo")
+}
+
+// emitBlock4Proc emits block4: the shared predictor adaptation. Inputs:
+// ebp = band state, [dval] = quantized difference d. Clobbers eax-edi.
+// With mmxFiltez, the zero-predictor FIR (FILTEZ) runs through the MMX
+// vector library: the six 32-bit taps are packed to the library's 16-bit
+// format on every call, multiplied per-term by nsVecMul16 (identical
+// truncating semantics) and summed back in scalar code — the granular
+// library usage plus formatting the paper's g722.mmx suffers from.
+func emitBlock4Proc(b *asm.Builder, mmxFiltez bool) {
+	e := g722Op{b}
+	b.Proc("block4")
+
+	// RECONS / PARREC.
+	e.ld(e.cell("dval"))
+	e.stEax(st(gD)) // d[0] = d
+	e.ld(st(gS))
+	b.I(isa.ADD, asm.R(isa.EAX), e.cell("dval"))
+	e.sat()
+	e.stEax(st(gR)) // r[0]
+	e.ld(st(gSZ))
+	b.I(isa.ADD, asm.R(isa.EAX), e.cell("dval"))
+	e.sat()
+	e.stEax(st(gP)) // p[0]
+
+	// UPPOL2.
+	for i := 0; i < 3; i++ {
+		e.ld(st(gP + i))
+		b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+		e.stEax(st(gSG + i))
+	}
+	e.ld(st(gA + 1))
+	b.I(isa.SHL, asm.R(isa.EAX), asm.Imm(2))
+	e.sat() // wd1
+	b.I(isa.MOV, asm.R(isa.EDX), st(gSG))
+	b.I(isa.CMP, asm.R(isa.EDX), st(gSG+1))
+	b.J(isa.JNE, "b4.keep1")
+	b.I(isa.NEG, asm.R(isa.EAX))
+	b.Label("b4.keep1")
+	e.clampEax("b4.w2", -0x80000000, 32767) // only the high clamp matters
+	e.stEax(e.cell("wd1v"))                 // wd2
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(-128))
+	b.I(isa.MOV, asm.R(isa.EDX), st(gSG))
+	b.I(isa.CMP, asm.R(isa.EDX), st(gSG+2))
+	b.J(isa.JNE, "b4.m128")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(128))
+	b.Label("b4.m128")
+	e.ld(e.cell("wd1v"))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(7))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.R(isa.EAX))
+	e.ld(st(gA + 2))
+	e.mulShift(32512, 15)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ECX))
+	e.clampEax("b4.ap2", -12288, 12288)
+	e.stEax(st(gAP + 2))
+
+	// UPPOL1.
+	e.ld(st(gP))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(st(gSG))
+	e.ld(st(gP + 1))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(st(gSG + 1))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(-192))
+	b.I(isa.MOV, asm.R(isa.EAX), st(gSG))
+	b.I(isa.CMP, asm.R(isa.EAX), st(gSG+1))
+	b.J(isa.JNE, "b4.m192")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(192))
+	b.Label("b4.m192")
+	e.ld(st(gA + 1))
+	e.mulShift(32640, 15)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ECX))
+	e.sat()
+	e.stEax(st(gAP + 1))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(15360))
+	b.I(isa.SUB, asm.R(isa.EAX), st(gAP+2))
+	e.sat()
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX)) // wd3
+	b.I(isa.MOV, asm.R(isa.EDX), asm.R(isa.ECX))
+	b.I(isa.NEG, asm.R(isa.EDX)) // -wd3
+	e.ld(st(gAP + 1))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.J(isa.JLE, "b4.ap1lo")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.J(isa.JMP, "b4.ap1done")
+	b.Label("b4.ap1lo")
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.J(isa.JGE, "b4.ap1done")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.Label("b4.ap1done")
+	e.stEax(st(gAP + 1))
+
+	// UPZERO.
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(128))
+	e.ld(e.cell("dval"))
+	b.I(isa.TEST, asm.R(isa.EAX), asm.R(isa.EAX))
+	b.J(isa.JNE, "b4.dnz")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0))
+	b.Label("b4.dnz")
+	b.I(isa.MOV, e.cell("wd1v"), asm.R(isa.ECX))
+	e.ld(e.cell("dval"))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(st(gSG))
+	for i := 1; i < 7; i++ {
+		tag := fmt1("b4.up%d", i)
+		e.ld(st(gD + i))
+		b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+		e.stEax(st(gSG + i))
+		b.I(isa.MOV, asm.R(isa.ECX), e.cell("wd1v"))
+		b.I(isa.CMP, asm.R(isa.EAX), st(gSG))
+		b.J(isa.JE, tag)
+		b.I(isa.NEG, asm.R(isa.ECX))
+		b.Label(tag)
+		e.ld(st(gB + i))
+		e.mulShift(32640, 15)
+		b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ECX))
+		e.sat()
+		e.stEax(st(gBP + i))
+	}
+
+	// DELAYA.
+	for i := 6; i > 0; i-- {
+		e.ld(st(gD + i - 1))
+		e.stEax(st(gD + i))
+		e.ld(st(gBP + i))
+		e.stEax(st(gB + i))
+	}
+	for i := 2; i > 0; i-- {
+		e.ld(st(gR + i - 1))
+		e.stEax(st(gR + i))
+		e.ld(st(gP + i - 1))
+		e.stEax(st(gP + i))
+		e.ld(st(gAP + i))
+		e.stEax(st(gA + i))
+	}
+
+	// FILTEP.
+	e.ld(st(gR + 1))
+	b.I(isa.ADD, asm.R(isa.EAX), st(gR+1))
+	e.sat()
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gA+1))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	b.I(isa.MOV, asm.R(isa.EDI), asm.R(isa.EAX))
+	e.ld(st(gR + 2))
+	b.I(isa.ADD, asm.R(isa.EAX), st(gR+2))
+	e.sat()
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gA+2))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EDI))
+	e.sat()
+	e.stEax(st(gSP))
+
+	// FILTEZ.
+	if mmxFiltez {
+		// Format the taps for the library: wd[i] = sat(2*d[i]) and the
+		// b coefficients packed from the 32-bit state to 16-bit vectors
+		// (two zero-padded lanes round the length up to 8).
+		for i := 1; i <= 6; i++ {
+			e.ld(st(gD + i))
+			b.I(isa.ADD, asm.R(isa.EAX), st(gD+i))
+			e.sat()
+			e.stEax(asm.Sym(isa.SizeW, "fzw", int32(2*(i-1))))
+			e.ld(st(gB + i))
+			e.stEax(asm.Sym(isa.SizeW, "fzb", int32(2*(i-1))))
+		}
+		b.I(isa.PUSH, asm.R(isa.EBP))
+		emitG722Call(b, "nsVecMul16", "fzt", "fzb", "fzw", 8)
+		b.I(isa.EMMS)
+		b.I(isa.POP, asm.R(isa.EBP))
+		b.I(isa.MOV, asm.R(isa.EDI), asm.Imm(0))
+		for i := 0; i < 6; i++ {
+			b.I(isa.MOVSXW, asm.R(isa.EAX), asm.Sym(isa.SizeW, "fzt", int32(2*i)))
+			b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.EAX))
+		}
+	} else {
+		b.I(isa.MOV, asm.R(isa.EDI), asm.Imm(0))
+		for i := 6; i > 0; i-- {
+			e.ld(st(gD + i))
+			b.I(isa.ADD, asm.R(isa.EAX), st(gD+i))
+			e.sat()
+			b.I(isa.IMUL, asm.R(isa.EAX), st(gB+i))
+			b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+			b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.EAX))
+		}
+	}
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDI))
+	e.sat()
+	e.stEax(st(gSZ))
+
+	// PREDIC.
+	b.I(isa.ADD, asm.R(isa.EAX), st(gSP))
+	e.sat()
+	e.stEax(st(gS))
+	b.Ret()
+}
+
+// emitG722Call calls a three-pointer-plus-length library routine.
+func emitG722Call(b *asm.Builder, proc, dst, a, c string, n int64) {
+	b.I(isa.PUSH, asm.Imm(n))
+	b.I(isa.PUSH, asm.ImmSym(c, 0))
+	b.I(isa.PUSH, asm.ImmSym(a, 0))
+	b.I(isa.PUSH, asm.ImmSym(dst, 0))
+	b.Call(proc)
+	b.I(isa.ADD, asm.R(isa.ESP), asm.Imm(16))
+}
+
+// fmt1 is a minimal sprintf for label tags (avoids fmt import noise).
+func fmt1(f string, i int) string {
+	out := []byte{}
+	for j := 0; j < len(f); j++ {
+		if f[j] == '%' && j+1 < len(f) && f[j+1] == 'd' {
+			if i >= 10 {
+				out = append(out, byte('0'+i/10))
+			}
+			out = append(out, byte('0'+i%10))
+			j++
+			continue
+		}
+		out = append(out, f[j])
+	}
+	return string(out)
+}
+
+// emitLogsclProc emits logscl: lower-band scale update. eax = il on entry;
+// ebp = band state.
+func emitLogsclProc(b *asm.Builder) {
+	e := g722Op{b}
+	b.Proc("logscl")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.SAR, asm.R(isa.ECX), asm.Imm(2))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.SymIdx(isa.SizeD, "rl42", isa.ECX, 4, 0))
+	e.ld(st(gNB))
+	e.mulShift(127, 7)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "wl", isa.EDX, 4, 0))
+	e.clampEax("lscl", 0, 18432)
+	e.stEax(st(gNB))
+	scaleTail(b, 8)
+	b.Ret()
+}
+
+// emitLogschProc emits logsch: higher-band scale update. eax = ih on
+// entry; ebp = band state.
+func emitLogschProc(b *asm.Builder) {
+	e := g722Op{b}
+	b.Proc("logsch")
+	b.I(isa.MOV, asm.R(isa.EDX), asm.SymIdx(isa.SizeD, "rh2", isa.EAX, 4, 0))
+	e.ld(st(gNB))
+	e.mulShift(127, 7)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "wh", isa.EDX, 4, 0))
+	e.clampEax("lsch", 0, 22528)
+	e.stEax(st(gNB))
+	scaleTail(b, 10)
+	b.Ret()
+}
+
+// scaleTail emits the shared SCALEL/SCALEH tail: det = (ilb[(nb>>6)&31]
+// shifted by (base - nb>>11)) << 2. nb is in eax.
+func scaleTail(b *asm.Builder, base int64) {
+	tag := fmt1("scale%d", int(base))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.SAR, asm.R(isa.ECX), asm.Imm(6))
+	b.I(isa.AND, asm.R(isa.ECX), asm.Imm(31))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.SymIdx(isa.SizeD, "ilb", isa.ECX, 4, 0))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(11))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(base))
+	b.I(isa.SUB, asm.R(isa.ECX), asm.R(isa.EAX)) // wd2 = base - nb>>11
+	b.I(isa.TEST, asm.R(isa.ECX), asm.R(isa.ECX))
+	b.J(isa.JS, tag+".neg")
+	b.I(isa.SHR, asm.R(isa.EDX), asm.R(isa.ECX))
+	b.J(isa.JMP, tag+".done")
+	b.Label(tag + ".neg")
+	b.I(isa.NEG, asm.R(isa.ECX))
+	b.I(isa.SHL, asm.R(isa.EDX), asm.R(isa.ECX))
+	b.Label(tag + ".done")
+	b.I(isa.SHL, asm.R(isa.EDX), asm.Imm(2))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDX))
+	g722Op{b}.stEax(st(gDET))
+}

@@ -1,0 +1,244 @@
+package apps
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+)
+
+// emitQmfAnalysis emits the transmit-QMF sums for the history in "xenc":
+// leaves sumodd in esi and sumeven in edi. The scalar variant multiplies
+// inline with imul; the MMX variant packs the 32-bit history into the
+// library's 16-bit format and calls nsDotProd16 twice, paying the
+// formatting plus a defensive emms — the per-sample overhead of §4.2.
+func emitQmfAnalysis(b *asm.Builder, useMMX bool, xsym string) {
+	if !useMMX {
+		b.I(isa.MOV, asm.R(isa.ESI), asm.Imm(0))
+		b.I(isa.MOV, asm.R(isa.EDI), asm.Imm(0))
+		for i := 0; i < 12; i++ {
+			b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, xsym, int32(8*i)))
+			b.I(isa.IMUL, asm.R(isa.EAX), asm.Sym(isa.SizeD, "qmfco", int32(4*i)))
+			b.I(isa.ADD, asm.R(isa.ESI), asm.R(isa.EAX))
+			b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, xsym, int32(8*i+4)))
+			b.I(isa.IMUL, asm.R(isa.EAX), asm.Sym(isa.SizeD, "qmfco", int32(4*(11-i))))
+			b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.EAX))
+		}
+		return
+	}
+	// Pack the even/odd 32-bit history taps into contiguous 16-bit library
+	// buffers (values are sample-sized, so the truncation is lossless).
+	for i := 0; i < 12; i++ {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, xsym, int32(8*i)))
+		b.I(isa.MOV, asm.Sym(isa.SizeW, "evenw", int32(2*i)), asm.R(isa.EAX))
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, xsym, int32(8*i+4)))
+		b.I(isa.MOV, asm.Sym(isa.SizeW, "oddw", int32(2*i)), asm.R(isa.EAX))
+	}
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	emit.Call(b, "nsDotProd16", asm.ImmSym("evenw", 0), asm.ImmSym("qmfw", 0), asm.Imm(16))
+	b.I(isa.MOV, asm.Sym(isa.SizeD, "sumodd", 0), asm.R(isa.EAX))
+	emit.Call(b, "nsDotProd16", asm.ImmSym("oddw", 0), asm.ImmSym("qmfwr", 0), asm.Imm(16))
+	b.I(isa.EMMS) // the library manual says: empty MMX state after use
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.R(isa.EDI), asm.R(isa.EAX)) // sumeven
+	b.I(isa.MOV, asm.R(isa.ESI), asm.Sym(isa.SizeD, "sumodd", 0))
+}
+
+// emitShiftX emits the 24-entry history shift x[i] = x[i+2].
+func emitShiftX(b *asm.Builder, xsym, tag string) {
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0))
+	b.Label(tag)
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, xsym, isa.ECX, 4, 8))
+	b.I(isa.MOV, asm.SymIdx(isa.SizeD, xsym, isa.ECX, 4, 0), asm.R(isa.EAX))
+	b.I(isa.INC, asm.R(isa.ECX))
+	b.I(isa.CMP, asm.R(isa.ECX), asm.Imm(22))
+	b.J(isa.JL, tag)
+}
+
+// emitEncodePair emits encode_pair(pairIdx) -> al = codeword.
+func emitEncodePair(b *asm.Builder, useMMX bool) {
+	e := g722Op{b}
+	b.Proc("encode_pair")
+	b.I(isa.MOV, asm.R(isa.EBX), emit.Arg(0)) // pair index
+
+	// Transmit QMF: shift in the two new samples, compute sub-bands.
+	emitShiftX(b, "xenc", "ep.shift")
+	b.I(isa.MOVSXW, asm.R(isa.EAX), asm.SymIdx(isa.SizeW, "pcm", isa.EBX, 4, 0))
+	e.stEax(asm.Sym(isa.SizeD, "xenc", 22*4))
+	b.I(isa.MOVSXW, asm.R(isa.EAX), asm.SymIdx(isa.SizeW, "pcm", isa.EBX, 4, 2))
+	e.stEax(asm.Sym(isa.SizeD, "xenc", 23*4))
+	emitQmfAnalysis(b, useMMX, "xenc")
+	// xlow = (sumeven+sumodd)>>14, xhigh = (sumeven-sumodd)>>14.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDI))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ESI))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(14))
+	e.stEax(e.cell("xlow"))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDI))
+	b.I(isa.SUB, asm.R(isa.EAX), asm.R(isa.ESI))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(14))
+	e.stEax(e.cell("xhigh"))
+
+	// --- Lower band: 6-bit ADPCM.
+	b.I(isa.MOV, asm.R(isa.EBP), asm.ImmSym("encL", 0))
+	e.ld(e.cell("xlow"))
+	b.I(isa.SUB, asm.R(isa.EAX), st(gS))
+	e.sat() // el
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.PUSH, asm.R(isa.EAX)) // save el
+	b.I(isa.TEST, asm.R(isa.ECX), asm.R(isa.ECX))
+	b.J(isa.JNS, "ep.elpos")
+	b.I(isa.NOT, asm.R(isa.ECX)) // -(el+1) == ^el
+	b.Label("ep.elpos")
+	// Quantizer search: smallest i in [1,30) with wd < (q6[i]*det)>>12.
+	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(1))
+	b.Label("ep.search")
+	b.I(isa.CMP, asm.R(isa.EDX), asm.Imm(30))
+	b.J(isa.JGE, "ep.found")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "q6", isa.EDX, 4, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(12))
+	b.I(isa.CMP, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.J(isa.JL, "ep.found")
+	b.I(isa.INC, asm.R(isa.EDX))
+	b.J(isa.JMP, "ep.search")
+	b.Label("ep.found")
+	// ilow = el < 0 ? iln[i] : ilp[i]  (el on the stack).
+	b.I(isa.POP, asm.R(isa.EAX))
+	b.I(isa.TEST, asm.R(isa.EAX), asm.R(isa.EAX))
+	b.J(isa.JS, "ep.useiln")
+	b.I(isa.MOV, asm.R(isa.EBX), asm.SymIdx(isa.SizeD, "ilp", isa.EDX, 4, 0))
+	b.J(isa.JMP, "ep.gotil")
+	b.Label("ep.useiln")
+	b.I(isa.MOV, asm.R(isa.EBX), asm.SymIdx(isa.SizeD, "iln", isa.EDX, 4, 0))
+	b.Label("ep.gotil")
+	// dlow = (det * qm4[ilow>>2]) >> 15.
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EBX))
+	b.I(isa.SAR, asm.R(isa.ECX), asm.Imm(2))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "qm4", isa.ECX, 4, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(e.cell("dval"))
+	// Scale and predictor updates (preserve ilow in ebx across calls via
+	// the stack: all registers are caller-saved).
+	b.I(isa.PUSH, asm.R(isa.EBX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.Call("logscl")
+	b.Call("block4")
+	b.I(isa.POP, asm.R(isa.EBX))
+	b.I(isa.PUSH, asm.R(isa.EBX)) // keep ilow for the final combine
+
+	// --- Higher band: 2-bit ADPCM.
+	b.I(isa.MOV, asm.R(isa.EBP), asm.ImmSym("encH", 0))
+	e.ld(e.cell("xhigh"))
+	b.I(isa.SUB, asm.R(isa.EAX), st(gS))
+	e.sat() // eh
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.PUSH, asm.R(isa.EAX))
+	b.I(isa.TEST, asm.R(isa.ECX), asm.R(isa.ECX))
+	b.J(isa.JNS, "ep.ehpos")
+	b.I(isa.NOT, asm.R(isa.ECX))
+	b.Label("ep.ehpos")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(564))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(12))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(1)) // mih
+	b.I(isa.CMP, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.J(isa.JL, "ep.mih1")
+	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(2))
+	b.Label("ep.mih1")
+	b.I(isa.POP, asm.R(isa.EAX)) // eh
+	b.I(isa.TEST, asm.R(isa.EAX), asm.R(isa.EAX))
+	b.J(isa.JS, "ep.useihn")
+	b.I(isa.MOV, asm.R(isa.EBX), asm.SymIdx(isa.SizeD, "ihp", isa.EDX, 4, 0))
+	b.J(isa.JMP, "ep.gotih")
+	b.Label("ep.useihn")
+	b.I(isa.MOV, asm.R(isa.EBX), asm.SymIdx(isa.SizeD, "ihn", isa.EDX, 4, 0))
+	b.Label("ep.gotih")
+	// dhigh = (det * qm2[ihigh]) >> 15.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "qm2", isa.EBX, 4, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(e.cell("dval"))
+	b.I(isa.PUSH, asm.R(isa.EBX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.Call("logsch")
+	b.Call("block4")
+	b.I(isa.POP, asm.R(isa.EBX)) // ihigh
+	b.I(isa.POP, asm.R(isa.ECX)) // ilow
+	b.I(isa.SHL, asm.R(isa.EBX), asm.Imm(6))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.I(isa.OR, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.Ret()
+}
+
+// emitDecodeByte emits decode_byte(code, pairIdx): writes two samples to
+// outpcm.
+func emitDecodeByte(b *asm.Builder, useMMX bool) {
+	e := g722Op{b}
+	b.Proc("decode_byte")
+
+	// --- Lower band reconstruction.
+	b.I(isa.MOV, asm.R(isa.EBX), emit.Arg(0))
+	b.I(isa.AND, asm.R(isa.EBX), asm.Imm(0x3F)) // ilow
+	b.I(isa.MOV, asm.R(isa.EBP), asm.ImmSym("decL", 0))
+	// Predictor path: dlowt = (det * qm4[ilow>>2]) >> 15.
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EBX))
+	b.I(isa.SAR, asm.R(isa.ECX), asm.Imm(2))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "qm4", isa.ECX, 4, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(e.cell("dval"))
+	// Output path: rlow = clamp14(s + (det*qm6[ilow])>>15).
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "qm6", isa.EBX, 4, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	b.I(isa.ADD, asm.R(isa.EAX), st(gS))
+	e.sat()
+	e.clampEax("db.rlow", -16384, 16383)
+	e.stEax(e.cell("rlow"))
+	b.I(isa.PUSH, asm.R(isa.EBX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.Call("logscl")
+	b.Call("block4")
+	b.I(isa.POP, asm.R(isa.EBX))
+
+	// --- Higher band reconstruction.
+	b.I(isa.MOV, asm.R(isa.EBX), emit.Arg(0))
+	b.I(isa.SHR, asm.R(isa.EBX), asm.Imm(6))
+	b.I(isa.AND, asm.R(isa.EBX), asm.Imm(3)) // ihigh
+	b.I(isa.MOV, asm.R(isa.EBP), asm.ImmSym("decH", 0))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "qm2", isa.EBX, 4, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), st(gDET))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	e.stEax(e.cell("dval"))
+	b.I(isa.ADD, asm.R(isa.EAX), st(gS))
+	e.sat()
+	e.clampEax("db.rhigh", -16384, 16383)
+	e.stEax(e.cell("rhigh"))
+	b.I(isa.PUSH, asm.R(isa.EBX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.Call("logsch")
+	b.Call("block4")
+	b.I(isa.POP, asm.R(isa.EBX))
+
+	// --- Receive QMF.
+	emitShiftX(b, "xdec", "db.shift")
+	e.ld(e.cell("rlow"))
+	b.I(isa.ADD, asm.R(isa.EAX), e.cell("rhigh"))
+	e.stEax(asm.Sym(isa.SizeD, "xdec", 22*4))
+	e.ld(e.cell("rlow"))
+	b.I(isa.SUB, asm.R(isa.EAX), e.cell("rhigh"))
+	e.stEax(asm.Sym(isa.SizeD, "xdec", 23*4))
+	emitQmfAnalysis(b, useMMX, "xdec")
+	// out0 = sat(sumeven>>11)... receive ordering: xout1 uses the odd
+	// taps' accumulator (esi holds sum over x[2i]*coef[i] = "xout2").
+	b.I(isa.MOV, asm.R(isa.EBX), emit.Arg(1)) // pair index
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDI))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(11))
+	e.sat()
+	b.I(isa.MOV, asm.SymIdx(isa.SizeW, "outpcm", isa.EBX, 4, 0), asm.R(isa.EAX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ESI))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(11))
+	e.sat()
+	b.I(isa.MOV, asm.SymIdx(isa.SizeW, "outpcm", isa.EBX, 4, 2), asm.R(isa.EAX))
+	b.Ret()
+}

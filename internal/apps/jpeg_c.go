@@ -1,0 +1,206 @@
+package apps
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+)
+
+// buildJpegC is the IJG-style optimized scalar encoder core: table-based
+// color conversion (no multiplies), the AAN fast DCT (five multiplies per
+// 8-point pass) and reciprocal quantization — the "highly optimized"
+// compiled code that the paper found hard to beat with library calls.
+func buildJpegC() (*asm.Program, error) {
+	b := asm.NewBuilder("jpeg.c")
+	placeJpegCommon(b)
+
+	// Color-conversion tables, channel-major: 9 tables of 256 dwords.
+	ty, tcb, tcr := ccTables()
+	var flat []int32
+	for _, t := range [][3][]int32{ty, tcb, tcr} {
+		for ch := 0; ch < 3; ch++ {
+			flat = append(flat, t[ch]...)
+		}
+	}
+	b.Dwords("cctab", flat)
+	recips, biases := jpegRecipsC()
+	b.Words("recips", recips[:])
+	b.Words("biases", biases[:])
+	// AAN temporaries.
+	b.Dwords("t0", make([]int32, 8)) // t0..t7 at offsets 0..28
+	b.Dwords("z2v", []int32{0})
+	b.Dwords("z5v", []int32{0})
+
+	b.Proc("main")
+	b.I(isa.PROFON)
+	emitJpegInit(b)
+	emitCall0(b, "colorconv_c")
+	emitBlockLoop(b, func() {
+		emitCall0(b, "extract_block")
+		emitCall0(b, "fdct_aan")
+		emitCall0(b, "quant_c")
+		emitCall0(b, "rle_block")
+	})
+	b.I(isa.PROFOFF)
+	b.I(isa.HALT)
+
+	// --- colorconv_c: whole-image table-based conversion.
+	b.Proc("colorconv_c")
+	b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("img", 0))
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0)) // pixel index
+	b.Label("cc.pix")
+	b.I(isa.MOVZXB, asm.R(isa.EAX), asm.MemB(isa.ESI, 0)) // R
+	b.I(isa.MOVZXB, asm.R(isa.EBX), asm.MemB(isa.ESI, 1)) // G
+	b.I(isa.MOVZXB, asm.R(isa.ECX), asm.MemB(isa.ESI, 2)) // B
+	for ch, plane := range []string{"planeY", "planeCb", "planeCr"} {
+		base := int32(ch * 3 * 1024)
+		b.I(isa.MOV, asm.R(isa.EDX), asm.SymIdx(isa.SizeD, "cctab", isa.EAX, 4, base))
+		b.I(isa.ADD, asm.R(isa.EDX), asm.SymIdx(isa.SizeD, "cctab", isa.EBX, 4, base+1024))
+		b.I(isa.ADD, asm.R(isa.EDX), asm.SymIdx(isa.SizeD, "cctab", isa.ECX, 4, base+2048))
+		b.I(isa.SAR, asm.R(isa.EDX), asm.Imm(16))
+		if ch == 0 {
+			b.I(isa.SUB, asm.R(isa.EDX), asm.Imm(128))
+		}
+		b.I(isa.MOV, asm.SymIdx(isa.SizeD, plane, isa.EBP, 4, 0), asm.R(isa.EDX))
+	}
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(3))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.Imm(jpgW*jpgH))
+	b.J(isa.JL, "cc.pix")
+	b.Ret()
+
+	// --- fdct_aan: 2-D AAN on blk32 (rows then columns).
+	b.Proc("fdct_aan")
+	for r := 0; r < 8; r++ {
+		b.I(isa.MOV, asm.R(isa.EBP), asm.ImmSym("blk32", int64(32*r)))
+		b.I(isa.PUSH, asm.R(isa.EBP))
+		b.Call("aan_row")
+		b.I(isa.ADD, asm.R(isa.ESP), asm.Imm(4))
+	}
+	for c := 0; c < 8; c++ {
+		b.I(isa.MOV, asm.R(isa.EBP), asm.ImmSym("blk32", int64(4*c)))
+		b.I(isa.PUSH, asm.R(isa.EBP))
+		b.Call("aan_col")
+		b.I(isa.ADD, asm.R(isa.ESP), asm.Imm(4))
+	}
+	b.Ret()
+
+	emitAANProc(b, "aan_row", 4)
+	emitAANProc(b, "aan_col", 32)
+
+	// --- quant_c: qcoef[k] = ((blk32[k] +- bias[k]) * recips[k]) >> 15.
+	b.Proc("quant_c")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0))
+	b.Label("q.loop")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "blk32", isa.ECX, 4, 0))
+	// Quantize the magnitude and restore the sign (symmetric truncation).
+	b.I(isa.MOV, asm.R(isa.EDI), asm.Imm(0)) // sign flag
+	b.I(isa.TEST, asm.R(isa.EAX), asm.R(isa.EAX))
+	b.J(isa.JNS, "q.pos")
+	b.I(isa.NEG, asm.R(isa.EAX))
+	b.I(isa.MOV, asm.R(isa.EDI), asm.Imm(1))
+	b.Label("q.pos")
+	b.I(isa.MOVSXW, asm.R(isa.EDX), asm.SymIdx(isa.SizeW, "biases", isa.ECX, 2, 0))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.I(isa.MOVSXW, asm.R(isa.EDX), asm.SymIdx(isa.SizeW, "recips", isa.ECX, 2, 0))
+	b.I(isa.IMUL, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	b.I(isa.TEST, asm.R(isa.EDI), asm.R(isa.EDI))
+	b.J(isa.JE, "q.store")
+	b.I(isa.NEG, asm.R(isa.EAX))
+	b.Label("q.store")
+	b.I(isa.MOV, asm.SymIdx(isa.SizeW, "qcoef", isa.ECX, 2, 0), asm.R(isa.EAX))
+	b.I(isa.INC, asm.R(isa.ECX))
+	b.I(isa.CMP, asm.R(isa.ECX), asm.Imm(64))
+	b.J(isa.JL, "q.loop")
+	b.Ret()
+
+	emitRleProc(b)
+	emitExtractProc(b)
+
+	return b.Link()
+}
+
+// emitCall0 calls a zero-argument procedure.
+func emitCall0(b *asm.Builder, proc string) { b.Call(proc) }
+
+// emitAANProc emits one AAN 8-point pass over int32 data at [arg0] with
+// the given element stride in bytes, following jfdctfst.c exactly.
+func emitAANProc(b *asm.Builder, name string, stride int32) {
+	x := func(i int32) isa.Operand { return asm.MemD(isa.EBP, i*stride) }
+	t := func(i int32) isa.Operand { return asm.Sym(isa.SizeD, "t0", 4*i) }
+
+	b.Proc(name)
+	b.I(isa.MOV, asm.R(isa.EBP), asm.MemD(isa.ESP, 4)) // vector pointer
+
+	// Even/odd fold: t0..t7.
+	for i := int32(0); i < 4; i++ {
+		b.I(isa.MOV, asm.R(isa.EAX), x(i))
+		b.I(isa.MOV, asm.R(isa.EDX), x(7-i))
+		b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX))
+		b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EDX)) // tmp_i
+		b.I(isa.SUB, asm.R(isa.ECX), asm.R(isa.EDX)) // tmp_{7-i}
+		b.I(isa.MOV, t(i), asm.R(isa.EAX))
+		b.I(isa.MOV, t(7-i), asm.R(isa.ECX))
+	}
+
+	// Even part.
+	b.I(isa.MOV, asm.R(isa.EAX), t(0))
+	b.I(isa.ADD, asm.R(isa.EAX), t(3)) // tmp10
+	b.I(isa.MOV, asm.R(isa.EBX), t(0))
+	b.I(isa.SUB, asm.R(isa.EBX), t(3)) // tmp13
+	b.I(isa.MOV, asm.R(isa.ECX), t(1))
+	b.I(isa.ADD, asm.R(isa.ECX), t(2)) // tmp11
+	b.I(isa.MOV, asm.R(isa.EDX), t(1))
+	b.I(isa.SUB, asm.R(isa.EDX), t(2)) // tmp12
+	b.I(isa.MOV, asm.R(isa.EDI), asm.R(isa.EAX))
+	b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.ECX))
+	b.I(isa.MOV, x(0), asm.R(isa.EDI)) // out0
+	b.I(isa.SUB, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.I(isa.MOV, x(4), asm.R(isa.EAX)) // out4
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.I(isa.IMUL, asm.R(isa.EAX), asm.Imm(aan0_707))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(8)) // z1
+	b.I(isa.MOV, asm.R(isa.EDI), asm.R(isa.EBX))
+	b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.EAX))
+	b.I(isa.MOV, x(2), asm.R(isa.EDI)) // out2
+	b.I(isa.SUB, asm.R(isa.EBX), asm.R(isa.EAX))
+	b.I(isa.MOV, x(6), asm.R(isa.EBX)) // out6
+
+	// Odd part.
+	b.I(isa.MOV, asm.R(isa.EAX), t(4))
+	b.I(isa.ADD, asm.R(isa.EAX), t(5)) // tmp10'
+	b.I(isa.MOV, asm.R(isa.ECX), t(5))
+	b.I(isa.ADD, asm.R(isa.ECX), t(6)) // tmp11'
+	b.I(isa.MOV, asm.R(isa.EDX), t(6))
+	b.I(isa.ADD, asm.R(isa.EDX), t(7)) // tmp12'
+	b.I(isa.MOV, asm.R(isa.EBX), asm.R(isa.EAX))
+	b.I(isa.SUB, asm.R(isa.EBX), asm.R(isa.EDX))
+	b.I(isa.IMUL, asm.R(isa.EBX), asm.Imm(aan0_382))
+	b.I(isa.SAR, asm.R(isa.EBX), asm.Imm(8)) // z5
+	b.I(isa.MOV, asm.Sym(isa.SizeD, "z5v", 0), asm.R(isa.EBX))
+	b.I(isa.IMUL, asm.R(isa.EAX), asm.Imm(aan0_541))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(8))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Sym(isa.SizeD, "z5v", 0)) // z2
+	b.I(isa.MOV, asm.Sym(isa.SizeD, "z2v", 0), asm.R(isa.EAX))
+	b.I(isa.IMUL, asm.R(isa.EDX), asm.Imm(aan1_306))
+	b.I(isa.SAR, asm.R(isa.EDX), asm.Imm(8))
+	b.I(isa.ADD, asm.R(isa.EDX), asm.Sym(isa.SizeD, "z5v", 0)) // z4 (edx)
+	b.I(isa.IMUL, asm.R(isa.ECX), asm.Imm(aan0_707))
+	b.I(isa.SAR, asm.R(isa.ECX), asm.Imm(8)) // z3 (ecx)
+	b.I(isa.MOV, asm.R(isa.EAX), t(7))
+	b.I(isa.MOV, asm.R(isa.EBX), asm.R(isa.EAX))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ECX)) // z11
+	b.I(isa.SUB, asm.R(isa.EBX), asm.R(isa.ECX)) // z13
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EBX))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.Sym(isa.SizeD, "z2v", 0))
+	b.I(isa.MOV, x(5), asm.R(isa.ECX)) // out5
+	b.I(isa.SUB, asm.R(isa.EBX), asm.Sym(isa.SizeD, "z2v", 0))
+	b.I(isa.MOV, x(3), asm.R(isa.EBX)) // out3
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.R(isa.EDX))
+	b.I(isa.MOV, x(1), asm.R(isa.ECX)) // out1
+	b.I(isa.SUB, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.I(isa.MOV, x(7), asm.R(isa.EAX)) // out7
+	b.Ret()
+}

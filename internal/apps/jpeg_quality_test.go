@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/jpegenc"
+	"mmxdsp/internal/mmxlib"
+)
+
+// TestJpegMMXPipelinePSNR backs the paper's claim that "the MMX version
+// shows no visible difference in quality than the non-MMX version,
+// although some precision is lost in the pixel calculations": it runs the
+// mirrored MMX pipeline (pmaddwd color conversion, Q13 two-pass DCT,
+// reciprocal quantization) forward and backward on the luma plane and
+// checks the reconstruction PSNR is in normal JPEG territory.
+func TestJpegMMXPipelinePSNR(t *testing.T) {
+	rgb := jpegInput()
+	recips, biases := jpegRecipsMMX()
+	q := jpegenc.ScaleQuant(jpegenc.StdLuminanceQuant, jpgQuality)
+
+	n := jpgW * jpgH
+	plane := make([]int32, n)
+	for i := 0; i < n; i++ {
+		y, _, _ := ccMMXModel(rgb[3*i], rgb[3*i+1], rgb[3*i+2])
+		plane[i] = y
+	}
+
+	var mse float64
+	var blk [64]int32
+	for by := 0; by < jpgBlocksY; by++ {
+		for bx := 0; bx < jpgBlocksX; bx++ {
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					blk[r*8+c] = plane[(by*8+r)*jpgW+bx*8+c]
+				}
+			}
+			orig := blk
+			dctMMXModel(&blk)
+			// Quantize, dequantize, inverse-transform in float.
+			var freq [64]float64
+			for k := 0; k < 64; k++ {
+				qv := mmxlib.QuantRecipModel(blk[k], recips[k], biases[k])
+				freq[k] = float64(int32(qv) * int32(q[k]))
+			}
+			var rec [64]float64
+			dsp.IDCT2D8(rec[:], freq[:])
+			for k := 0; k < 64; k++ {
+				d := rec[k] - float64(orig[k])
+				mse += d * d
+			}
+		}
+	}
+	mse /= float64(n)
+	psnr := 10 * math.Log10(255*255/mse)
+	t.Logf("jpeg.mmx luma pipeline PSNR at q%d: %.1f dB", jpgQuality, psnr)
+	if psnr < 28 {
+		t.Errorf("PSNR = %.1f dB, want >= 28 (visually transparent-ish at q50)", psnr)
+	}
+}
+
+// TestJpegVersionsAgreeOnImageStructure: the .c and .mmx pipelines use
+// different arithmetic, so their streams differ, but their DC coefficients
+// (block averages) must agree closely — the two encoders see the same
+// picture.
+func TestJpegVersionsAgreeOnImageStructure(t *testing.T) {
+	rgb := jpegInput()
+	ty, tcb, tcr := ccTables()
+	var worst int32
+	for i := 0; i < jpgW*jpgH; i += 97 {
+		yc, _, _ := ccCModel(ty, tcb, tcr, rgb[3*i], rgb[3*i+1], rgb[3*i+2])
+		ym, _, _ := ccMMXModel(rgb[3*i], rgb[3*i+1], rgb[3*i+2])
+		d := yc - ym
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 2 {
+		t.Errorf("luma conversions differ by up to %d codes, want <= 2", worst)
+	}
+}

@@ -1,0 +1,50 @@
+package asm
+
+import "mmxdsp/internal/isa"
+
+// R returns a register operand.
+func R(r isa.Reg) isa.Operand { return isa.Operand{Kind: isa.KindReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int64) isa.Operand { return isa.Operand{Kind: isa.KindImm, Imm: v} }
+
+// ImmSym returns an immediate operand holding the address of a data symbol
+// (resolved at link time), plus an optional byte offset.
+func ImmSym(sym string, off int64) isa.Operand {
+	return isa.Operand{Kind: isa.KindImm, Sym: sym, Imm: off}
+}
+
+// Mem returns a memory operand [base + disp] with the given access width.
+func Mem(size isa.Size, base isa.Reg, disp int32) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Reg: base, Disp: disp, Size: size}
+}
+
+// MemIdx returns a memory operand [base + index*scale + disp].
+func MemIdx(size isa.Size, base, index isa.Reg, scale uint8, disp int32) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Reg: base, Index: index, Scale: scale, Disp: disp, Size: size}
+}
+
+// Sym returns a memory operand [symbol + disp].
+func Sym(size isa.Size, sym string, disp int32) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Sym: sym, Disp: disp, Size: size}
+}
+
+// SymIdx returns a memory operand [symbol + index*scale + disp].
+func SymIdx(size isa.Size, sym string, index isa.Reg, scale uint8, disp int32) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Sym: sym, Index: index, Scale: scale, Disp: disp, Size: size}
+}
+
+// Convenience width-specific wrappers, matching assembler "byte/word/dword/
+// qword ptr" idioms.
+
+// MemB returns a byte memory operand [base + disp].
+func MemB(base isa.Reg, disp int32) isa.Operand { return Mem(isa.SizeB, base, disp) }
+
+// MemW returns a word memory operand [base + disp].
+func MemW(base isa.Reg, disp int32) isa.Operand { return Mem(isa.SizeW, base, disp) }
+
+// MemD returns a dword memory operand [base + disp].
+func MemD(base isa.Reg, disp int32) isa.Operand { return Mem(isa.SizeD, base, disp) }
+
+// MemQ returns a qword memory operand [base + disp].
+func MemQ(base isa.Reg, disp int32) isa.Operand { return Mem(isa.SizeQ, base, disp) }

@@ -1,0 +1,35 @@
+package core
+
+import "mmxdsp/internal/profile"
+
+// Ratios holds the paper's Table 3 row: every value is
+// (non-MMX version) / (MMX version), so Speedup > 1 means MMX is faster and
+// Static < 1 means the MMX version has more static instructions.
+type Ratios struct {
+	Program string // the non-MMX program name, e.g. "fft.c"
+
+	Speedup float64 // clock-cycle ratio
+	Static  float64 // static instruction ratio
+	Dynamic float64 // dynamic instruction ratio
+	Uops    float64 // Pentium II micro-op ratio
+	MemRefs float64 // memory-reference ratio
+}
+
+// Compare builds the non-MMX/MMX ratio row from two reports.
+func Compare(base, mmx *profile.Report) Ratios {
+	return Ratios{
+		Program: base.Name,
+		Speedup: ratio(base.Cycles, mmx.Cycles),
+		Static:  ratio(base.StaticInstructions, mmx.StaticInstructions),
+		Dynamic: ratio(base.DynamicInstructions, mmx.DynamicInstructions),
+		Uops:    ratio(base.Uops, mmx.Uops),
+		MemRefs: ratio(base.MemoryReferences, mmx.MemoryReferences),
+	}
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,127 @@
+// Package core is the paper's contribution as a reusable API: a benchmark
+// suite abstraction (programs in C-only, FP-library and MMX-library
+// versions), a runner that executes a program on the simulated
+// Pentium-with-MMX and profiles it VTune-style, and a comparison engine
+// that produces every table and figure of the evaluation.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/mem"
+	"mmxdsp/internal/pentium"
+	"mmxdsp/internal/profile"
+	"mmxdsp/internal/vm"
+)
+
+// Versions of a benchmark, matching the paper's suffixes.
+const (
+	VersionC   = "c"   // compiled scalar code
+	VersionFP  = "fp"  // scalar code calling the optimized FP assembly library
+	VersionMMX = "mmx" // scalar code calling the MMX assembly library
+)
+
+// Kinds of benchmark.
+const (
+	KindKernel      = "kernel"
+	KindApplication = "application"
+)
+
+// Benchmark is one program version in the suite.
+type Benchmark struct {
+	Base    string // benchmark family: "fft", "fir", ..., "jpeg"
+	Version string // VersionC, VersionFP or VersionMMX
+	Kind    string // KindKernel or KindApplication
+	Descr   string // Table 1 description
+	// Build assembles the program (including workload data placement).
+	Build func() (*asm.Program, error)
+	// Check validates the program's outputs on the halted machine against
+	// the pure-Go reference implementation. May be nil.
+	Check func(c *vm.CPU) error
+}
+
+// Name returns the paper-style program name, e.g. "fft.mmx".
+func (b Benchmark) Name() string { return b.Base + "." + b.Version }
+
+// Options configures a run.
+type Options struct {
+	// Pentium is the timing-model configuration; the zero value is
+	// upgraded to pentium.DefaultConfig().
+	Pentium pentium.Config
+	// PerfectCache disables the cache model (ablation).
+	PerfectCache bool
+	// MaxInstrs bounds execution; 0 selects a generous default.
+	MaxInstrs int64
+	// SkipCheck skips output validation.
+	SkipCheck bool
+	// Trace, when non-nil, receives a line per retired measured
+	// instruction, up to TraceLimit lines (0 = unlimited).
+	Trace      io.Writer
+	TraceLimit int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Pentium: pentium.DefaultConfig()}
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Benchmark Benchmark
+	Report    *profile.Report
+}
+
+// Run builds, executes, profiles and validates one benchmark.
+func Run(b Benchmark, opt Options) (*Result, error) {
+	if opt.Pentium == (pentium.Config{}) {
+		opt.Pentium = pentium.DefaultConfig()
+	}
+	if opt.MaxInstrs == 0 {
+		opt.MaxInstrs = 1 << 31
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", b.Name(), err)
+	}
+	model := pentium.New(opt.Pentium)
+	col := profile.NewCollector(prog, model)
+	cpu := vm.New(prog)
+	cpu.Obs = col
+	if opt.Trace != nil {
+		cpu.Obs = profile.Tee(col,
+			&profile.Tracer{W: opt.Trace, Limit: opt.TraceLimit, MeasuredOnly: true})
+	}
+	if !opt.PerfectCache {
+		cpu.Hier = mem.NewHierarchy()
+	}
+	if err := cpu.Run(opt.MaxInstrs); err != nil {
+		return nil, fmt.Errorf("core: run %s: %w", b.Name(), err)
+	}
+	if b.Check != nil && !opt.SkipCheck {
+		if err := b.Check(cpu); err != nil {
+			return nil, fmt.Errorf("core: validate %s: %w", b.Name(), err)
+		}
+	}
+	rep := col.Report(b.Name())
+	if cpu.Hier != nil {
+		rep.CacheAccesses = cpu.Hier.Stats.Accesses
+		rep.L1Misses = cpu.Hier.Stats.L1Misses
+		rep.L2Misses = cpu.Hier.Stats.L2Misses
+	}
+	return &Result{Benchmark: b, Report: rep}, nil
+}
+
+// RunAll runs every benchmark, returning results keyed by program name.
+func RunAll(benches []Benchmark, opt Options) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(benches))
+	for _, b := range benches {
+		r, err := Run(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name()] = r
+	}
+	return out, nil
+}

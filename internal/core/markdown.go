@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarkdownReport renders the full evaluation — Tables 2 and 3 plus the
+// Figure 1(a) breakdown — as a Markdown document, ready to paste into
+// EXPERIMENTS-style write-ups.
+func MarkdownReport(rs ResultSet) string {
+	var b strings.Builder
+	b.WriteString("# Reproduced evaluation\n\n")
+
+	b.WriteString("## Table 2 — Benchmark instruction characteristics\n\n")
+	b.WriteString("| Program | Static | Dyn µops | Dynamic | %MemRef | %MMX | Cycles |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range orderedResults(rs) {
+		rep := r.Report
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %.2f | %.2f | %d |\n",
+			rep.Name, rep.StaticInstructions, rep.Uops, rep.DynamicInstructions,
+			rep.PercentMemRefs(), rep.PercentMMX(), rep.Cycles)
+	}
+
+	b.WriteString("\n## Table 3 — Non-MMX/MMX ratios\n\n")
+	b.WriteString("| Program | Speedup | Static | Dynamic | µops | MemRefs |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, row := range table3Rows(rs) {
+		fmt.Fprintf(&b, "| %s | %.2f | %.3f | %.2f | %.2f | %.2f |\n",
+			row.Program, row.Speedup, row.Static, row.Dynamic, row.Uops, row.MemRefs)
+	}
+
+	b.WriteString("\n## Figure 1(a) — MMX instruction breakdown (ascending speedup)\n\n")
+	b.WriteString("| Program | Speedup | pack/unpack | arith | mov | emms | total %MMX |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, base := range basesBySpeedup(rs) {
+		c, m := rs[base+".c"], rs[base+".mmx"]
+		if c == nil || m == nil {
+			continue
+		}
+		bd := m.Report.MMXBreakdown()
+		fmt.Fprintf(&b, "| %s.mmx | %.2f | %.2f%% | %.2f%% | %.2f%% | %.3f%% | %.2f%% |\n",
+			base, float64(c.Report.Cycles)/float64(m.Report.Cycles),
+			bd[0], bd[1], bd[2], bd[3], m.Report.PercentMMX())
+	}
+
+	b.WriteString("\n## Narrative metrics (§4)\n\n")
+	b.WriteString("| Program | Calls | Call/Ret cycles | pack/unpack of MMX |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, r := range orderedResults(rs) {
+		rep := r.Report
+		fmt.Fprintf(&b, "| %s | %d | %.2f%% | %.2f%% |\n",
+			rep.Name, rep.Calls, rep.CallRetCycleShare(), rep.PackUnpackShareOfMMX())
+	}
+	return b.String()
+}

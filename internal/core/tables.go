@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file regenerates the paper's tables and figures from a set of run
+// results. Every generator returns plain text; the CSV variants return
+// machine-readable rows for plotting.
+
+// ResultSet is the output of RunAll, keyed by program name ("fft.mmx").
+type ResultSet = map[string]*Result
+
+// bases returns the benchmark families present, ordered by their C-to-MMX
+// speedup ascending (the paper arranges Figure 1 and 2 this way).
+func basesBySpeedup(rs ResultSet) []string {
+	seen := map[string]bool{}
+	var out []string
+	for name, r := range rs {
+		base := strings.SplitN(name, ".", 2)[0]
+		if !seen[base] {
+			seen[base] = true
+			out = append(out, base)
+		}
+		_ = r
+	}
+	speedup := func(base string) float64 {
+		c, m := rs[base+".c"], rs[base+".mmx"]
+		if c == nil || m == nil || m.Report.Cycles == 0 {
+			return 0
+		}
+		return float64(c.Report.Cycles) / float64(m.Report.Cycles)
+	}
+	sort.Slice(out, func(i, j int) bool { return speedup(out[i]) < speedup(out[j]) })
+	return out
+}
+
+// programOrder is the paper's Table 2 row order.
+var programOrder = []string{
+	"fft.c", "fft.fp", "fft.mmx",
+	"fir.c", "fir.fp", "fir.mmx",
+	"iir.c", "iir.fp", "iir.mmx",
+	"matvec.c", "matvec.mmx",
+	"radar.c", "radar.mmx",
+	"g722.c", "g722.mmx",
+	"jpeg.c", "jpeg.mmx",
+	"image.c", "image.mmx",
+}
+
+// orderedResults yields the results present in Table 2 order.
+func orderedResults(rs ResultSet) []*Result {
+	var out []*Result
+	for _, name := range programOrder {
+		if r, ok := rs[name]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Table1 renders the benchmark summary (descriptions).
+func Table1(benches []Benchmark) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Summary of Benchmark Kernels and Applications\n\n")
+	emit := func(kind, header string) {
+		fmt.Fprintf(&b, "%s\n", header)
+		seen := map[string]bool{}
+		for _, bench := range benches {
+			if bench.Kind != kind || seen[bench.Base] {
+				continue
+			}
+			seen[bench.Base] = true
+			fmt.Fprintf(&b, "  %-8s %s\n", bench.Base, bench.Descr)
+		}
+		b.WriteByte('\n')
+	}
+	emit(KindKernel, "Kernels")
+	emit(KindApplication, "Applications")
+	return b.String()
+}
+
+// Table2 renders the per-program instruction characteristics.
+func Table2(rs ResultSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Benchmark Instruction Characteristics\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %9s %7s\n",
+		"Program", "Static", "Dyn uops", "Dynamic", "%MemRef", "%MMX")
+	for _, r := range orderedResults(rs) {
+		rep := r.Report
+		fmt.Fprintf(&b, "%-12s %10d %12d %12d %8.2f%% %6.2f%%\n",
+			rep.Name, rep.StaticInstructions, rep.Uops, rep.DynamicInstructions,
+			rep.PercentMemRefs(), rep.PercentMMX())
+	}
+	return b.String()
+}
+
+// Table2CSV renders Table 2 as CSV.
+func Table2CSV(rs ResultSet) string {
+	var b strings.Builder
+	b.WriteString("program,static,uops,dynamic,pct_memref,pct_mmx,cycles\n")
+	for _, r := range orderedResults(rs) {
+		rep := r.Report
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f,%.4f,%d\n",
+			rep.Name, rep.StaticInstructions, rep.Uops, rep.DynamicInstructions,
+			rep.PercentMemRefs(), rep.PercentMMX(), rep.Cycles)
+	}
+	return b.String()
+}
+
+// table3Rows builds the non-MMX/MMX comparison rows in the paper's order.
+func table3Rows(rs ResultSet) []Ratios {
+	rows := []string{"fft.c", "fft.fp", "fir.c", "fir.fp", "iir.c", "iir.fp",
+		"matvec.c", "g722.c", "image.c", "jpeg.c", "radar.c"}
+	var out []Ratios
+	for _, name := range rows {
+		base := strings.SplitN(name, ".", 2)[0]
+		nonMMX, mmx := rs[name], rs[base+".mmx"]
+		if nonMMX == nil || mmx == nil {
+			continue
+		}
+		out = append(out, Compare(nonMMX.Report, mmx.Report))
+	}
+	return out
+}
+
+// Table3 renders the ratio table (non-MMX program / MMX program).
+func Table3(rs ResultSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Results as ratios of Non-MMX program to MMX program\n\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %8s\n",
+		"Program", "Speedup", "Static", "Dynamic", "Uops", "MemRefs")
+	for _, row := range table3Rows(rs) {
+		fmt.Fprintf(&b, "%-12s %8.2f %8.3f %8.2f %8.2f %8.2f\n",
+			row.Program, row.Speedup, row.Static, row.Dynamic, row.Uops, row.MemRefs)
+	}
+	return b.String()
+}
+
+// Table3CSV renders Table 3 as CSV.
+func Table3CSV(rs ResultSet) string {
+	var b strings.Builder
+	b.WriteString("program,speedup,static_ratio,dynamic_ratio,uops_ratio,memref_ratio\n")
+	for _, row := range table3Rows(rs) {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Program, row.Speedup, row.Static, row.Dynamic, row.Uops, row.MemRefs)
+	}
+	return b.String()
+}
+
+// Fig1a renders the MMX instruction-category mix of every .mmx program,
+// ordered by ascending speedup, with the speedup above each bar as in the
+// paper's figure.
+func Fig1a(rs ResultSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1(a): Breakdown of MMX instructions (%% of dynamic instructions)\n")
+	fmt.Fprintf(&b, "Programs ordered by ascending C-to-MMX speedup; value above bar = speedup.\n\n")
+	fmt.Fprintf(&b, "%-10s %8s %12s %9s %8s %8s %7s\n",
+		"Program", "Speedup", "pack/unpack", "mmx arith", "mmx mov", "emms", "total")
+	for _, base := range basesBySpeedup(rs) {
+		c, m := rs[base+".c"], rs[base+".mmx"]
+		if c == nil || m == nil {
+			continue
+		}
+		rep := m.Report
+		bd := rep.MMXBreakdown()
+		speedup := float64(c.Report.Cycles) / float64(m.Report.Cycles)
+		fmt.Fprintf(&b, "%-10s %8.2f %11.2f%% %8.2f%% %7.2f%% %7.3f%% %6.2f%%\n",
+			base+".mmx", speedup, bd[0], bd[1], bd[2], bd[3], rep.PercentMMX())
+	}
+	return b.String()
+}
+
+// Fig1b renders the static and dynamic instruction-count ratios (C-only to
+// MMX), ordered by ascending speedup.
+func Fig1b(rs ResultSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1(b): C-only vs. MMX instruction counts (ratios, C/MMX)\n\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "Program", "Static", "Dynamic")
+	for _, base := range basesBySpeedup(rs) {
+		c, m := rs[base+".c"], rs[base+".mmx"]
+		if c == nil || m == nil {
+			continue
+		}
+		r := Compare(c.Report, m.Report)
+		fmt.Fprintf(&b, "%-10s %8.3f %8.2f\n", base, r.Static, r.Dynamic)
+	}
+	return b.String()
+}
+
+// Fig2a renders speedup, dynamic-instruction and memory-reference ratios of
+// the C-only versions to the MMX versions.
+func Fig2a(rs ResultSet) string { return fig2(rs, ".c", "Figure 2(a): C-only to MMX ratios") }
+
+// Fig2b renders the same ratios for the FP-library versions (kernels only;
+// matvec and the applications have no FP version, as in the paper).
+func Fig2b(rs ResultSet) string { return fig2(rs, ".fp", "Figure 2(b): FP-library to MMX ratios") }
+
+func fig2(rs ResultSet, suffix, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "Program", "Speedup", "Dynamic", "MemRefs")
+	for _, base := range basesBySpeedup(rs) {
+		nonMMX, mmx := rs[base+suffix], rs[base+".mmx"]
+		if nonMMX == nil || mmx == nil {
+			continue
+		}
+		r := Compare(nonMMX.Report, mmx.Report)
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f\n", base, r.Speedup, r.Dynamic, r.MemRefs)
+	}
+	return b.String()
+}
+
+// Notes renders the paper's §4 narrative observations from the measured
+// data: per-program call/ret cycle shares, pack/unpack shares, call counts.
+func Notes(rs ResultSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4 narrative metrics\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %14s %12s\n",
+		"Program", "Calls", "Call/Ret cyc", "pack/unp %%MMX", "Cycles")
+	for _, r := range orderedResults(rs) {
+		rep := r.Report
+		fmt.Fprintf(&b, "%-12s %10d %11.2f%% %13.2f%% %12d\n",
+			rep.Name, rep.Calls, rep.CallRetCycleShare(),
+			rep.PackUnpackShareOfMMX(), rep.Cycles)
+	}
+	return b.String()
+}

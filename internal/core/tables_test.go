@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mmxdsp/internal/profile"
+)
+
+// fakeResult builds a synthetic result for table-rendering tests.
+func fakeResult(name string, cycles, dyn, static, uops, memrefs, mmxArith uint64) *Result {
+	rep := &profile.Report{
+		Name:                name,
+		Cycles:              cycles,
+		DynamicInstructions: dyn,
+		StaticInstructions:  static,
+		Uops:                uops,
+		MemoryReferences:    memrefs,
+		MMXArithmetic:       mmxArith,
+	}
+	base := strings.SplitN(name, ".", 2)[0]
+	ver := strings.SplitN(name, ".", 2)[1]
+	return &Result{
+		Benchmark: Benchmark{Base: base, Version: ver, Kind: KindKernel, Descr: "test " + base},
+		Report:    rep,
+	}
+}
+
+func fakeSet() ResultSet {
+	return ResultSet{
+		"fft.c":   fakeResult("fft.c", 2000, 1000, 100, 1500, 400, 0),
+		"fft.fp":  fakeResult("fft.fp", 1500, 900, 90, 1300, 380, 0),
+		"fft.mmx": fakeResult("fft.mmx", 1000, 800, 150, 1200, 300, 40),
+		"fir.c":   fakeResult("fir.c", 6000, 3000, 40, 4000, 1200, 0),
+		"fir.mmx": fakeResult("fir.mmx", 1000, 700, 80, 900, 350, 200),
+	}
+}
+
+func TestTable2ContainsProgramsAndValues(t *testing.T) {
+	out := Table2(fakeSet())
+	for _, want := range []string{"fft.c", "fft.fp", "fft.mmx", "fir.c", "fir.mmx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "5.00%") { // fft.mmx: 40/800 MMX
+		t.Errorf("Table2 missing %%MMX value:\n%s", out)
+	}
+}
+
+func TestTable3RatioRows(t *testing.T) {
+	out := Table3(fakeSet())
+	// fft.c vs fft.mmx: speedup 2.00; fir.c vs fir.mmx: speedup 6.00.
+	if !strings.Contains(out, "2.00") || !strings.Contains(out, "6.00") {
+		t.Errorf("Table3 missing expected speedups:\n%s", out)
+	}
+	if !strings.Contains(out, "fft.fp") {
+		t.Errorf("Table3 must include the FP rows:\n%s", out)
+	}
+	if strings.Contains(out, "fir.fp") {
+		t.Errorf("Table3 must skip absent programs:\n%s", out)
+	}
+}
+
+func TestCSVOutputsParseable(t *testing.T) {
+	rs := fakeSet()
+	csv2 := Table2CSV(rs)
+	lines := strings.Split(strings.TrimSpace(csv2), "\n")
+	if len(lines) != 6 { // header + 5 programs
+		t.Errorf("Table2CSV has %d lines, want 6:\n%s", len(lines), csv2)
+	}
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != 7 {
+			t.Errorf("Table2CSV row has %d fields, want 7: %q", got, l)
+		}
+	}
+	csv3 := Table3CSV(rs)
+	if !strings.HasPrefix(csv3, "program,speedup") {
+		t.Errorf("Table3CSV header wrong: %q", csv3)
+	}
+}
+
+func TestFiguresOrderedBySpeedup(t *testing.T) {
+	out := Fig1a(fakeSet())
+	// fft (2.0x) must come before fir (6.0x).
+	fftPos := strings.Index(out, "fft.mmx")
+	firPos := strings.Index(out, "fir.mmx")
+	if fftPos < 0 || firPos < 0 || fftPos > firPos {
+		t.Errorf("Fig1a ordering wrong (fft@%d fir@%d):\n%s", fftPos, firPos, out)
+	}
+	fig2 := Fig2a(fakeSet())
+	if !strings.Contains(fig2, "fft") || !strings.Contains(fig2, "fir") {
+		t.Errorf("Fig2a missing rows:\n%s", fig2)
+	}
+	fig2b := Fig2b(fakeSet())
+	if !strings.Contains(fig2b, "fft") || strings.Contains(fig2b, "fir") {
+		t.Errorf("Fig2b must include only families with .fp versions:\n%s", fig2b)
+	}
+}
+
+func TestTable1UsesDescriptions(t *testing.T) {
+	benches := []Benchmark{
+		{Base: "fft", Version: VersionC, Kind: KindKernel, Descr: "an FFT"},
+		{Base: "fft", Version: VersionMMX, Kind: KindKernel, Descr: "an FFT"},
+		{Base: "jpeg", Version: VersionC, Kind: KindApplication, Descr: "a JPEG"},
+	}
+	out := Table1(benches)
+	if !strings.Contains(out, "an FFT") || !strings.Contains(out, "a JPEG") {
+		t.Errorf("Table1 missing descriptions:\n%s", out)
+	}
+	if strings.Count(out, "an FFT") != 1 {
+		t.Errorf("Table1 must list each family once:\n%s", out)
+	}
+}
+
+func TestNotesRenders(t *testing.T) {
+	out := Notes(fakeSet())
+	if !strings.Contains(out, "fft.mmx") || !strings.Contains(out, "Calls") {
+		t.Errorf("Notes output wrong:\n%s", out)
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	out := MarkdownReport(fakeSet())
+	for _, want := range []string{"## Table 2", "## Table 3", "Figure 1(a)",
+		"| fft.mmx |", "| fir.c |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Every table row must have a consistent column count.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| fft.c ") {
+			if got := strings.Count(line, "|"); got != 8 {
+				t.Errorf("table-2 row has %d pipes: %q", got, line)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package dsp
+
+import "math"
+
+// Convolve returns the full linear convolution of x and h
+// (length len(x)+len(h)-1).
+func Convolve(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x)+len(h)-1)
+	for i, xv := range x {
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// ConvolveFFT computes the same linear convolution via zero-padded FFTs —
+// the O(N log N) route; it matches Convolve within floating-point error.
+func ConvolveFFT(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	outLen := len(x) + len(h) - 1
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	xr := make([]float64, n)
+	xi := make([]float64, n)
+	hr := make([]float64, n)
+	hi := make([]float64, n)
+	copy(xr, x)
+	copy(hr, h)
+	if err := FFT(xr, xi); err != nil {
+		return nil
+	}
+	if err := FFT(hr, hi); err != nil {
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		re := xr[k]*hr[k] - xi[k]*hi[k]
+		im := xr[k]*hi[k] + xi[k]*hr[k]
+		xr[k], xi[k] = re, im
+	}
+	if err := IFFT(xr, xi); err != nil {
+		return nil
+	}
+	return xr[:outLen]
+}
+
+// CrossCorrelate returns r[lag] = sum_n x[n] * y[n+lag] for
+// lag in [0, maxLag].
+func CrossCorrelate(x, y []float64, maxLag int) []float64 {
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		var acc float64
+		for n := 0; n+lag < len(y) && n < len(x); n++ {
+			acc += x[n] * y[n+lag]
+		}
+		out[lag] = acc
+	}
+	return out
+}
+
+// AutoCorrelate returns the autocorrelation of x for lags [0, maxLag].
+func AutoCorrelate(x []float64, maxLag int) []float64 {
+	return CrossCorrelate(x, x, maxLag)
+}
+
+// Goertzel computes the squared magnitude of one DFT bin of x — the
+// classic cheap tone detector (the per-bin analog of the radar pipeline's
+// peak search). k is the bin index for an implicit DFT of length len(x).
+func Goertzel(x []float64, k int) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * float64(k) / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// |X[k]|^2 = s1^2 + s2^2 - coeff*s1*s2
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}

@@ -1,0 +1,197 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveBasics(t *testing.T) {
+	// Impulse is the identity.
+	h := []float64{1}
+	x := []float64{3, -1, 2}
+	got := Convolve(x, h)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Errorf("impulse convolution [%d] = %v", i, got[i])
+		}
+	}
+	// Known small case: [1,2] * [3,4] = [3, 10, 8].
+	got = Convolve([]float64{1, 2}, []float64{3, 4})
+	want := []float64{3, 10, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("conv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, h) != nil || Convolve(x, nil) != nil {
+		t.Error("empty inputs must return nil")
+	}
+}
+
+func TestConvolveMatchesFIR(t *testing.T) {
+	// Convolution of the input with the coefficients equals streaming the
+	// input through a FIR filter (for the first len(x) outputs).
+	coef := LowpassFIR(9, 0.2)
+	p := prng(41)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = p.float()
+	}
+	conv := Convolve(x, coef)
+	f := NewFIR(coef)
+	for i, v := range x {
+		y := f.Process(v)
+		if math.Abs(y-conv[i]) > 1e-12 {
+			t.Fatalf("FIR[%d] = %g, conv %g", i, y, conv[i])
+		}
+	}
+}
+
+func TestConvolveFFTMatchesDirect(t *testing.T) {
+	f := func(xs, hs [9]int8) bool {
+		x := make([]float64, 9)
+		h := make([]float64, 6)
+		for i := range x {
+			x[i] = float64(xs[i]) / 64
+		}
+		for i := range h {
+			h[i] = float64(hs[i]) / 64
+		}
+		direct := Convolve(x, h)
+		fast := ConvolveFFT(x, h)
+		if len(direct) != len(fast) {
+			return false
+		}
+		for i := range direct {
+			if math.Abs(direct[i]-fast[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossAndAutoCorrelate(t *testing.T) {
+	x := []float64{1, 2, 3}
+	r := AutoCorrelate(x, 2)
+	want := []float64{14, 8, 3} // lags 0,1,2
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Errorf("autocorr[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+	// Cross-correlation peak finds a delay.
+	p := prng(55)
+	sig := make([]float64, 200)
+	for i := range sig {
+		sig[i] = p.float()
+	}
+	const delay = 17
+	delayed := make([]float64, 250)
+	copy(delayed[delay:], sig)
+	xc := CrossCorrelate(sig, delayed, 40)
+	best := 0
+	for lag := range xc {
+		if xc[lag] > xc[best] {
+			best = lag
+		}
+	}
+	if best != delay {
+		t.Errorf("correlation peak at lag %d, want %d", best, delay)
+	}
+}
+
+func TestGoertzelMatchesDFTBin(t *testing.T) {
+	p := prng(66)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = p.float()
+	}
+	re := make([]float64, 64)
+	im := make([]float64, 64)
+	copy(re, x)
+	if err := FFT(re, im); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1, 5, 31} {
+		want := re[k]*re[k] + im[k]*im[k]
+		got := Goertzel(x, k)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("Goertzel bin %d = %g, FFT %g", k, got, want)
+		}
+	}
+	if Goertzel(nil, 3) != 0 {
+		t.Error("empty input must give 0")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    []float64
+		ends float64
+		mid  float64
+	}{
+		{"hann", Hann(65), 0, 1},
+		{"hamming", Hamming(65), 0.08, 1},
+		{"blackman", Blackman(65), 0, 1},
+	} {
+		if len(tc.w) != 65 {
+			t.Fatalf("%s length", tc.name)
+		}
+		if math.Abs(tc.w[0]-tc.ends) > 1e-9 || math.Abs(tc.w[64]-tc.ends) > 1e-9 {
+			t.Errorf("%s endpoints = %v, %v; want %v", tc.name, tc.w[0], tc.w[64], tc.ends)
+		}
+		if math.Abs(tc.w[32]-tc.mid) > 1e-9 {
+			t.Errorf("%s midpoint = %v, want %v", tc.name, tc.w[32], tc.mid)
+		}
+		// Symmetry.
+		for i := 0; i < 32; i++ {
+			if math.Abs(tc.w[i]-tc.w[64-i]) > 1e-12 {
+				t.Errorf("%s not symmetric at %d", tc.name, i)
+			}
+		}
+	}
+	r := Rectangular(4)
+	for _, v := range r {
+		if v != 1 {
+			t.Error("rectangular window must be all ones")
+		}
+	}
+	if w := Hann(1); w[0] != 1 {
+		t.Error("degenerate window must be [1]")
+	}
+}
+
+func TestWindowReducesLeakage(t *testing.T) {
+	// An off-bin tone leaks badly with a rectangular window; a Hann
+	// window concentrates it.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 10.37 * float64(i) / float64(n))
+	}
+	leakage := func(w []float64) float64 {
+		fr := make([]float64, n)
+		fi := make([]float64, n)
+		copy(fr, x)
+		ApplyWindow(fr, w)
+		if err := FFT(fr, fi); err != nil {
+			t.Fatal(err)
+		}
+		ps := PowerSpectrum(fr, fi)
+		// Energy far from the tone (bins 30..60) relative to the peak.
+		var far float64
+		for k := 30; k < 60; k++ {
+			far += ps[k]
+		}
+		return far / ps[10]
+	}
+	if lr, lh := leakage(Rectangular(n)), leakage(Hann(n)); lh > lr/100 {
+		t.Errorf("Hann leakage %g not much below rectangular %g", lh, lr)
+	}
+}

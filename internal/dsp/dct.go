@@ -1,0 +1,135 @@
+package dsp
+
+import "math"
+
+// DCT1D8 computes the 8-point type-II DCT with orthonormal scaling:
+//
+//	X[k] = c(k) * sum_n x[n] cos((2n+1)kπ/16),  c(0)=sqrt(1/8), c(k)=sqrt(2/8)
+//
+// applied row- and column-wise it forms the JPEG 2-D transform.
+func DCT1D8(out, in []float64) {
+	for k := 0; k < 8; k++ {
+		var acc float64
+		for n := 0; n < 8; n++ {
+			acc += in[n] * dctCos[n][k]
+		}
+		out[k] = acc * dctScale[k]
+	}
+}
+
+// IDCT1D8 computes the inverse 8-point DCT (type III with matching scale).
+func IDCT1D8(out, in []float64) {
+	for n := 0; n < 8; n++ {
+		var acc float64
+		for k := 0; k < 8; k++ {
+			acc += dctScale[k] * in[k] * dctCos[n][k]
+		}
+		out[n] = acc
+	}
+}
+
+// Package-level tables are built by initializer functions (not func init)
+// so that Go's declaration-dependency ordering guarantees dctBasisQ13 sees
+// fully built tables.
+var (
+	dctCos   = makeDCTCos()
+	dctScale = makeDCTScale()
+)
+
+func makeDCTCos() (t [8][8]float64) {
+	for n := 0; n < 8; n++ {
+		for k := 0; k < 8; k++ {
+			t[n][k] = math.Cos(float64(2*n+1) * float64(k) * math.Pi / 16)
+		}
+	}
+	return t
+}
+
+func makeDCTScale() (s [8]float64) {
+	s[0] = math.Sqrt(1.0 / 8)
+	for k := 1; k < 8; k++ {
+		s[k] = math.Sqrt(2.0 / 8)
+	}
+	return s
+}
+
+// DCT2D8 computes the 8×8 2-D DCT of a row-major block: 8 row transforms
+// followed by 8 column transforms (the separable form the paper's jpeg.mmx
+// has to emulate with 16 one-dimensional library calls).
+func DCT2D8(out, in []float64) {
+	var tmp [64]float64
+	var row, res [8]float64
+	for r := 0; r < 8; r++ {
+		copy(row[:], in[r*8:r*8+8])
+		DCT1D8(res[:], row[:])
+		copy(tmp[r*8:r*8+8], res[:])
+	}
+	var col [8]float64
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = tmp[r*8+c]
+		}
+		DCT1D8(res[:], col[:])
+		for r := 0; r < 8; r++ {
+			out[r*8+c] = res[r]
+		}
+	}
+}
+
+// IDCT2D8 inverts DCT2D8.
+func IDCT2D8(out, in []float64) {
+	var tmp [64]float64
+	var col, res [8]float64
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = in[r*8+c]
+		}
+		IDCT1D8(res[:], col[:])
+		for r := 0; r < 8; r++ {
+			tmp[r*8+c] = res[r]
+		}
+	}
+	var row [8]float64
+	for r := 0; r < 8; r++ {
+		copy(row[:], tmp[r*8:r*8+8])
+		IDCT1D8(res[:], row[:])
+		copy(out[r*8:r*8+8], res[:])
+	}
+}
+
+// DCTCosQ13 returns the 8×8 cosine basis in Q13 (so products of 9-bit
+// centered pixel data and Q13 cosines fit 16-bit pmaddwd inputs without
+// overflow), row-major [n][k] like dctCos. Used by the MMX DCT library
+// routine and its tests.
+func DCTCosQ13() [64]int16 {
+	var t [64]int16
+	for n := 0; n < 8; n++ {
+		for k := 0; k < 8; k++ {
+			v := math.Round(dctCos[n][k] * dctScale[k] * 8192)
+			if v > 32767 {
+				v = 32767
+			}
+			t[n*8+k] = int16(v)
+		}
+	}
+	return t
+}
+
+// DCT1D8Q15 computes the 8-point scaled DCT in fixed point: inputs are
+// 16-bit (typically 9-bit centered pixels), the basis is Q13, and each
+// output is the Q13 accumulator narrowed by 13 bits with rounding and
+// saturation. Matches the MMX library routine bit for bit.
+func DCT1D8Q15(out, in []int16) {
+	basis := dctBasisQ13
+	for k := 0; k < 8; k++ {
+		var acc int64
+		for n := 0; n < 8; n++ {
+			acc += int64(in[n]) * int64(basis[n*8+k])
+		}
+		acc += 1 << 12
+		acc >>= 13
+		out[k] = satI64ToI16(acc)
+	}
+}
+
+var dctBasisQ13 = DCTCosQ13()

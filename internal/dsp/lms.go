@@ -1,0 +1,96 @@
+package dsp
+
+import "mmxdsp/internal/fixed"
+
+// LMS is a normalized-step least-mean-squares adaptive FIR filter:
+//
+//	y[n]   = w · x[n..n-M+1]
+//	e[n]   = d[n] - y[n]
+//	w[k]  += mu * e[n] * x[n-k]
+//
+// The paper singles LMS out as a common DSP kernel the Intel MMX library
+// did not provide ("Not all DSP algorithms have corresponding MMX
+// functions (e.g. the LMS algorithm)"); this package provides both the
+// float reference and the 16-bit fixed-point form an MMX port would use.
+type LMS struct {
+	w    []float64
+	hist []float64
+	mu   float64
+}
+
+// NewLMS builds an adaptive filter with the given tap count and step size.
+func NewLMS(taps int, mu float64) *LMS {
+	return &LMS{w: make([]float64, taps), hist: make([]float64, taps), mu: mu}
+}
+
+// Weights returns the current coefficient vector (live view).
+func (f *LMS) Weights() []float64 { return f.w }
+
+// Step consumes one input sample and its desired response; it returns the
+// filter output and the error.
+func (f *LMS) Step(x, desired float64) (y, e float64) {
+	copy(f.hist[1:], f.hist)
+	f.hist[0] = x
+	for k, w := range f.w {
+		y += w * f.hist[k]
+	}
+	e = desired - y
+	for k := range f.w {
+		f.w[k] += f.mu * e * f.hist[k]
+	}
+	return y, e
+}
+
+// LMSQ15 is the Q15 fixed-point LMS: weights and data are Q15, the update
+// uses a Q15 step size with double-rounded products (the precision the
+// paper's 16-bit pipelines live with).
+type LMSQ15 struct {
+	w    []int16
+	hist []int16
+	mu   int16 // Q15
+}
+
+// NewLMSQ15 builds the fixed-point adaptive filter.
+func NewLMSQ15(taps int, mu int16) *LMSQ15 {
+	return &LMSQ15{w: make([]int16, taps), hist: make([]int16, taps), mu: mu}
+}
+
+// Weights returns the current Q15 coefficient vector (live view).
+func (f *LMSQ15) Weights() []int16 { return f.w }
+
+// Step consumes one Q15 sample and desired response, returning the Q15
+// output and error. The convolution accumulates exactly and narrows once;
+// the weight update rounds per product, matching what an MMX
+// implementation (pmaddwd MAC + pmulhw update) would do.
+func (f *LMSQ15) Step(x, desired int16) (y, e int16) {
+	copy(f.hist[1:], f.hist)
+	f.hist[0] = x
+	var acc int64
+	for k, w := range f.w {
+		acc = fixed.MacQ15(acc, w, f.hist[k])
+	}
+	y = fixed.NarrowQ30(acc)
+	e = fixed.SatW(int32(desired) - int32(y))
+	step := fixed.MulQ15(f.mu, e)
+	for k := range f.w {
+		f.w[k] = fixed.SatW(int32(f.w[k]) + int32(fixed.MulQ15(step, f.hist[k])))
+	}
+	return y, e
+}
+
+// Identify runs system identification: it adapts against the output of the
+// unknown FIR filter `plant` driven by `input` and returns the final
+// weights and the error power over the last quarter of the run.
+func Identify(plant []float64, input []float64, mu float64) (w []float64, tailErr float64) {
+	ref := NewFIR(plant)
+	f := NewLMS(len(plant), mu)
+	n := len(input)
+	for i, x := range input {
+		d := ref.Process(x)
+		_, e := f.Step(x, d)
+		if i >= 3*n/4 {
+			tailErr += e * e
+		}
+	}
+	return f.Weights(), tailErr / float64(n/4)
+}

@@ -1,0 +1,92 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLMSIdentifiesPlant(t *testing.T) {
+	plant := []float64{0.4, -0.2, 0.1, 0.05}
+	p := prng(91)
+	input := make([]float64, 4000)
+	for i := range input {
+		input[i] = p.float()
+	}
+	w, tailErr := Identify(plant, input, 0.05)
+	if tailErr > 1e-8 {
+		t.Errorf("tail error power = %g, want converged (< 1e-8)", tailErr)
+	}
+	for k := range plant {
+		if math.Abs(w[k]-plant[k]) > 1e-3 {
+			t.Errorf("w[%d] = %g, want %g", k, w[k], plant[k])
+		}
+	}
+}
+
+func TestLMSErrorDecreases(t *testing.T) {
+	plant := []float64{0.5, 0.25, -0.125}
+	ref := NewFIR(plant)
+	f := NewLMS(3, 0.1)
+	p := prng(7)
+	var early, late float64
+	for i := 0; i < 2000; i++ {
+		x := p.float()
+		d := ref.Process(x)
+		_, e := f.Step(x, d)
+		if i < 200 {
+			early += e * e
+		}
+		if i >= 1800 {
+			late += e * e
+		}
+	}
+	if late >= early/100 {
+		t.Errorf("error power early %g, late %g: no convergence", early, late)
+	}
+}
+
+func TestLMSQ15Converges(t *testing.T) {
+	// Fixed-point identification of a small plant: the Q15 filter should
+	// reach weights within quantization-and-stall tolerance.
+	plant := []float64{0.4, -0.2, 0.1}
+	plantQ := VecToQ15floats(plant)
+	refF := NewFIRQ15(plantQ)
+	f := NewLMSQ15(3, ToQ15ish(0.25))
+	p := prng(13)
+	var late float64
+	for i := 0; i < 6000; i++ {
+		x := ToQ15ish(0.5 * p.float())
+		d := refF.Process(x)
+		_, e := f.Step(x, d)
+		if i >= 5500 {
+			late += float64(e) * float64(e)
+		}
+	}
+	// Error should be driven down to the fixed-point floor.
+	rms := math.Sqrt(late/500) / 32768
+	if rms > 0.02 {
+		t.Errorf("fixed-point LMS tail RMS error = %g, want < 0.02", rms)
+	}
+	for k, want := range plantQ {
+		got := f.Weights()[k]
+		if d := math.Abs(float64(got - want)); d > 2500 {
+			t.Errorf("wq[%d] = %d, want ~%d", k, got, want)
+		}
+	}
+}
+
+func TestLMSZeroStepNeverAdapts(t *testing.T) {
+	f := NewLMSQ15(4, 0)
+	for i := 0; i < 100; i++ {
+		f.Step(int16(i*100), 3000)
+	}
+	for k, w := range f.Weights() {
+		if w != 0 {
+			t.Errorf("w[%d] = %d, want 0 with mu=0", k, w)
+		}
+	}
+}
+
+// helpers reusing package conversions in test-local names.
+func VecToQ15floats(v []float64) []int16 { return QuantizeQ15(v) }
+func ToQ15ish(v float64) int16           { return QuantizeQ15([]float64{v})[0] }

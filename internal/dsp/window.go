@@ -1,0 +1,56 @@
+package dsp
+
+import "math"
+
+// Window functions, periodic in the analysis sense (denominator N-1,
+// symmetric), returned as float64 slices suitable for multiplying against
+// frames before an FFT.
+
+// Hamming returns the N-point Hamming window.
+func Hamming(n int) []float64 {
+	return cosineWindow(n, 0.54, 0.46, 0)
+}
+
+// Hann returns the N-point Hann window.
+func Hann(n int) []float64 {
+	return cosineWindow(n, 0.5, 0.5, 0)
+}
+
+// Blackman returns the N-point Blackman window.
+func Blackman(n int) []float64 {
+	return cosineWindow(n, 0.42, 0.5, 0.08)
+}
+
+// Rectangular returns the N-point all-ones window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func cosineWindow(n int, a0, a1, a2 float64) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	m := float64(n - 1)
+	for i := range w {
+		x := 2 * math.Pi * float64(i) / m
+		w[i] = a0 - a1*math.Cos(x) + a2*math.Cos(2*x)
+	}
+	return w
+}
+
+// ApplyWindow multiplies a frame by a window in place. The slices must be
+// the same length.
+func ApplyWindow(frame, window []float64) {
+	for i := range frame {
+		frame[i] *= window[i]
+	}
+}
+
+// WindowQ15 quantizes a window to Q15 for fixed-point pipelines.
+func WindowQ15(w []float64) []int16 { return QuantizeQ15(w) }

@@ -1,0 +1,502 @@
+// Package fplib is the hand-optimized floating-point assembly library —
+// the analog of the Intel Performance Library's FP build that the paper's
+// .fp benchmark versions call. Routines follow the emit calling convention
+// and return float results in fp0.
+package fplib
+
+import (
+	"math"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+)
+
+// EmitFirF32 emits fpFir(hist, coef, n, x) -> fp0: a 32-bit float FIR that
+// consumes one sample per call (the paper's fir workload shape). hist and
+// coef are float32 arrays of length n; hist[0] is the newest sample. The
+// history shift uses dword integer moves (a classic hand-optimization) and
+// the MAC loop is a straight fld/fmul/fadd chain.
+func EmitFirF32(b *asm.Builder) {
+	const name = "fpFir"
+	b.Proc(name)
+	emit.LoadArg(b, isa.ESI, 0) // hist
+	emit.LoadArg(b, isa.EDI, 1) // coef
+	emit.LoadArg(b, isa.ECX, 2) // n
+
+	// Shift the history up by one element using integer dword moves,
+	// from the top down: hist[i] = hist[i-1] for i = n-1 .. 1.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.I(isa.DEC, asm.R(isa.EAX))
+	b.Label(name + ".shift")
+	b.I(isa.MOV, asm.R(isa.EDX), asm.MemIdx(isa.SizeD, isa.ESI, isa.EAX, 4, -4))
+	b.I(isa.MOV, asm.MemIdx(isa.SizeD, isa.ESI, isa.EAX, 4, 0), asm.R(isa.EDX))
+	b.I(isa.DEC, asm.R(isa.EAX))
+	b.J(isa.JNE, name+".shift")
+	// hist[0] = x (arg 3 is the float32 bit pattern).
+	b.I(isa.MOV, asm.R(isa.EDX), emit.Arg(3))
+	b.I(isa.MOV, asm.MemD(isa.ESI, 0), asm.R(isa.EDX))
+
+	// MAC loop, software-pipelined two taps per iteration: products build
+	// in fp1/fp3 while the adder consumes them, hiding the three-cycle
+	// multiplier latency behind independent issue slots — the kind of
+	// hand scheduling that distinguishes the library from compiled code.
+	// The accumulation order (ascending taps into one accumulator) is
+	// identical to the plain loop, so results match bit for bit.
+	b.I(isa.FLDC, asm.R(isa.FP0), asm.Imm(0)) // 0.0
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.R(isa.ECX))
+	b.I(isa.AND, asm.R(isa.EDX), asm.Imm(^int64(1))) // even tap count
+	b.I(isa.TEST, asm.R(isa.EDX), asm.R(isa.EDX))
+	b.J(isa.JE, name+".tail")
+	b.Label(name + ".mac2")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeD, isa.ESI, isa.EAX, 4, 0))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 0))
+	b.I(isa.FLD, asm.R(isa.FP3), asm.MemIdx(isa.SizeD, isa.ESI, isa.EAX, 4, 4))
+	b.I(isa.FMUL, asm.R(isa.FP3), asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 4))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP1))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP3))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(2))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.J(isa.JL, name+".mac2")
+	b.Label(name + ".tail")
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.J(isa.JGE, name+".done")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeD, isa.ESI, isa.EAX, 4, 0))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 0))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP1))
+	b.I(isa.INC, asm.R(isa.EAX))
+	b.J(isa.JMP, name+".tail")
+	b.Label(name + ".done")
+	b.Ret()
+}
+
+// EmitIirBlockF64 emits fpIirBlock(state, in, out, blockLen): a direct-form
+// I IIR on 64-bit floats processing a block per call (the paper's iir
+// workload shape: 8 samples per invocation).
+//
+// The state block layout (all float64, 8-byte aligned):
+//
+//	+0    nb    dword: numerator length (9 for the paper's filter)
+//	+4    na    dword: denominator length excluding a0 (8)
+//	+8    b[nb]   numerator coefficients
+//	+8+8*nb a[na] denominator coefficients
+//	then  x[nb]   input history (newest first)
+//	then  y[na]   output history (newest first)
+//
+// in/out point to float64 sample arrays.
+func EmitIirBlockF64(b *asm.Builder) {
+	const name = "fpIirBlock"
+	b.Dwords(name+".evenb", []int32{0})
+	b.Dwords(name+".evena", []int32{0})
+	b.Proc(name)
+	emit.LoadArg(b, isa.EBP, 0) // state
+	// Derived pointers: esi=b, edi=a, ebx=xh, edx=yh (computed below).
+
+	b.I(isa.MOV, asm.R(isa.ECX), emit.Arg(3)) // blockLen counter
+	b.Label(name + ".sample")
+
+	// Recompute pointers each sample (state is compact; the cost is the
+	// point — this is a flexible library routine, not fused code).
+	b.I(isa.MOV, asm.R(isa.ESI), asm.R(isa.EBP))
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(8)) // b coefficients
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.EBP, 0))
+	b.I(isa.SHL, asm.R(isa.EAX), asm.Imm(3))
+	b.I(isa.MOV, asm.R(isa.EDI), asm.R(isa.ESI))
+	b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.EAX)) // a = b + 8*nb
+	b.I(isa.MOV, asm.R(isa.EDX), asm.MemD(isa.EBP, 4))
+	b.I(isa.SHL, asm.R(isa.EDX), asm.Imm(3))
+	b.I(isa.MOV, asm.R(isa.EBX), asm.R(isa.EDI))
+	b.I(isa.ADD, asm.R(isa.EBX), asm.R(isa.EDX)) // xh = a + 8*na
+	b.I(isa.MOV, asm.R(isa.EDX), asm.R(isa.EBX))
+	b.I(isa.ADD, asm.R(isa.EDX), asm.R(isa.EAX)) // yh = xh + 8*nb
+
+	// Shift x history up (float64, from top): i = nb-1 .. 1.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.EBP, 0))
+	b.I(isa.DEC, asm.R(isa.EAX))
+	b.Label(name + ".xshift")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EBX, isa.EAX, 8, -8))
+	b.I(isa.FST, asm.MemIdx(isa.SizeQ, isa.EBX, isa.EAX, 8, 0), asm.R(isa.FP1))
+	b.I(isa.DEC, asm.R(isa.EAX))
+	b.J(isa.JNE, name+".xshift")
+	// xh[0] = *in; in advances after the sample.
+	b.I(isa.MOV, asm.R(isa.EAX), emit.Arg(1))
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemQ(isa.EAX, 0))
+	b.I(isa.FST, asm.MemQ(isa.EBX, 0), asm.R(isa.FP1))
+
+	// acc = sum b[i]*xh[i], two taps per iteration (software-pipelined
+	// like the FIR library; ascending order preserved exactly).
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.EBP, 0))
+	b.I(isa.AND, asm.R(isa.EAX), asm.Imm(^int64(1)))
+	b.I(isa.MOV, asm.Sym(isa.SizeD, name+".evenb", 0), asm.R(isa.EAX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.EBP, 4))
+	b.I(isa.AND, asm.R(isa.EAX), asm.Imm(^int64(1)))
+	b.I(isa.MOV, asm.Sym(isa.SizeD, name+".evena", 0), asm.R(isa.EAX))
+	b.I(isa.FLDC, asm.R(isa.FP0), asm.Imm(0))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".bmac2")
+	b.I(isa.CMP, asm.R(isa.EAX), asm.Sym(isa.SizeD, name+".evenb", 0))
+	b.J(isa.JGE, name+".btail")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EBX, isa.EAX, 8, 0))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 8, 0))
+	b.I(isa.FLD, asm.R(isa.FP3), asm.MemIdx(isa.SizeQ, isa.EBX, isa.EAX, 8, 8))
+	b.I(isa.FMUL, asm.R(isa.FP3), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 8, 8))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP1))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP3))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(2))
+	b.J(isa.JMP, name+".bmac2")
+	b.Label(name + ".btail")
+	b.I(isa.CMP, asm.R(isa.EAX), asm.MemD(isa.EBP, 0))
+	b.J(isa.JGE, name+".bdone")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EBX, isa.EAX, 8, 0))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 8, 0))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP1))
+	b.Label(name + ".bdone")
+
+	// acc -= sum a[i]*yh[i], same two-tap schedule.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".amac2")
+	b.I(isa.CMP, asm.R(isa.EAX), asm.Sym(isa.SizeD, name+".evena", 0))
+	b.J(isa.JGE, name+".atail")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EDX, isa.EAX, 8, 0))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 8, 0))
+	b.I(isa.FLD, asm.R(isa.FP3), asm.MemIdx(isa.SizeQ, isa.EDX, isa.EAX, 8, 8))
+	b.I(isa.FMUL, asm.R(isa.FP3), asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 8, 8))
+	b.I(isa.FSUB, asm.R(isa.FP0), asm.R(isa.FP1))
+	b.I(isa.FSUB, asm.R(isa.FP0), asm.R(isa.FP3))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(2))
+	b.J(isa.JMP, name+".amac2")
+	b.Label(name + ".atail")
+	b.I(isa.CMP, asm.R(isa.EAX), asm.MemD(isa.EBP, 4))
+	b.J(isa.JGE, name+".adone")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EDX, isa.EAX, 8, 0))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 8, 0))
+	b.I(isa.FSUB, asm.R(isa.FP0), asm.R(isa.FP1))
+	b.Label(name + ".adone")
+
+	// Shift y history and insert acc.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.EBP, 4))
+	b.I(isa.DEC, asm.R(isa.EAX))
+	b.Label(name + ".yshift")
+	b.I(isa.FLD, asm.R(isa.FP1), asm.MemIdx(isa.SizeQ, isa.EDX, isa.EAX, 8, -8))
+	b.I(isa.FST, asm.MemIdx(isa.SizeQ, isa.EDX, isa.EAX, 8, 0), asm.R(isa.FP1))
+	b.I(isa.DEC, asm.R(isa.EAX))
+	b.J(isa.JNE, name+".yshift")
+	b.I(isa.FST, asm.MemQ(isa.EDX, 0), asm.R(isa.FP0))
+
+	// *out = acc; advance in/out pointers (they live on the stack).
+	b.I(isa.MOV, asm.R(isa.EAX), emit.Arg(2))
+	b.I(isa.FST, asm.MemQ(isa.EAX, 0), asm.R(isa.FP0))
+	b.I(isa.ADD, emit.Arg(1), asm.Imm(8))
+	b.I(isa.ADD, emit.Arg(2), asm.Imm(8))
+
+	b.I(isa.DEC, asm.R(isa.ECX))
+	b.J(isa.JNE, name+".sample")
+	b.Ret()
+}
+
+// FftCoreConfig selects the code-generation style of the float32 FFT core.
+// The three presets model the three code provenances the paper compares:
+// freshly hand-scheduled assembly (the newest MMX-library internals),
+// older hand-optimized library code, and compiler output.
+type FftCoreConfig struct {
+	// MemTemps spills the butterfly temporaries (tr, ti) through memory
+	// instead of keeping them in FP registers.
+	MemTemps bool
+	// DivPerButterfly recomputes the twiddle stride n/size with idiv in
+	// every butterfly instead of hoisting it per stage.
+	DivPerButterfly bool
+	// RecomputeTwiddles fills the twiddle tables with fsin/fcos at the
+	// top of every stage instead of relying on precomputed tables — the
+	// loop structure of straightforward C FFTs. The values written are
+	// cos(k*c) and sin(k*c) with c = -2π/n computed by fdiv, matching the
+	// kernels' runtime-twiddle model.
+	RecomputeTwiddles bool
+}
+
+// PresetFast is the newest, fully register-scheduled core (used internally
+// by the MMX library's hybrid FFT).
+func PresetFast() FftCoreConfig { return FftCoreConfig{} }
+
+// PresetLibraryFP is the FP Performance Library build: correct and solid
+// but a generation older — butterfly temporaries round-trip through memory.
+func PresetLibraryFP() FftCoreConfig { return FftCoreConfig{MemTemps: true} }
+
+// PresetCompiled models optimizing-compiler output of the C source: memory
+// temporaries plus a division in the twiddle-index computation that the
+// compiler does not hoist.
+func PresetCompiled() FftCoreConfig {
+	return FftCoreConfig{MemTemps: true, DivPerButterfly: true}
+}
+
+// PresetCompiledTrig is PresetCompiled plus per-stage fsin/fcos twiddle
+// computation — the shape of textbook C FFTs that call sin()/cos() inside
+// the transform rather than precomputing tables.
+func PresetCompiledTrig() FftCoreConfig {
+	return FftCoreConfig{MemTemps: true, DivPerButterfly: true, RecomputeTwiddles: true}
+}
+
+// EmitFftF32 emits fpFft(...) with the library-FP preset. See EmitFftCore.
+func EmitFftF32(b *asm.Builder) { EmitFftCore(b, "fpFft", PresetLibraryFP()) }
+
+// EmitFftCore emits name(re, im, n, costab, sintab, brtab, brcount):
+// an in-place radix-2 decimation-in-time FFT on float32 arrays with
+// precomputed twiddle tables (cos/sin of -2πk/n for k < n/2) and a
+// precomputed bit-reversal swap list (brcount pairs of dword indices).
+func EmitFftCore(b *asm.Builder, name string, cfg FftCoreConfig) {
+	if cfg.MemTemps {
+		b.Floats(name+".tmp", make([]float32, 2))
+	}
+	b.Dwords(name+".step", []int32{0})
+	if cfg.RecomputeTwiddles {
+		b.Doubles(name+".angc", []float64{0})
+		b.Dwords(name+".kvar", []int32{0})
+	}
+	b.Proc(name)
+	if cfg.RecomputeTwiddles {
+		// angc = -2*pi / n, computed once per call with fdiv.
+		b.I(isa.MOV, asm.R(isa.EAX), emit.Arg(2))
+		b.I(isa.MOV, asm.Sym(isa.SizeD, name+".kvar", 0), asm.R(isa.EAX))
+		b.I(isa.FLDC, asm.R(isa.FP1), asm.Imm(int64(math.Float64bits(-2*math.Pi))))
+		b.I(isa.FILD, asm.R(isa.FP0), asm.Sym(isa.SizeD, name+".kvar", 0))
+		b.I(isa.FDIV, asm.R(isa.FP1), asm.R(isa.FP0))
+		b.I(isa.FST, asm.Sym(isa.SizeQ, name+".angc", 0), asm.R(isa.FP1))
+	}
+
+	// --- Bit-reverse permutation from the swap table.
+	emit.LoadArg(b, isa.ESI, 5) // brtab: pairs (i, j)
+	emit.LoadArg(b, isa.ECX, 6) // brcount
+	b.I(isa.TEST, asm.R(isa.ECX), asm.R(isa.ECX))
+	b.J(isa.JE, name+".stages")
+	emit.LoadArg(b, isa.EBX, 0) // re
+	emit.LoadArg(b, isa.EDI, 1) // im
+	b.Label(name + ".br")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.ESI, 0)) // i
+	b.I(isa.MOV, asm.R(isa.EDX), asm.MemD(isa.ESI, 4)) // j
+	// swap re[i], re[j] via ebp scratch
+	b.I(isa.MOV, asm.R(isa.EBP), asm.MemIdx(isa.SizeD, isa.EBX, isa.EAX, 4, 0))
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.R(isa.EBP), asm.MemIdx(isa.SizeD, isa.EBX, isa.EDX, 4, 0))
+	b.I(isa.MOV, asm.MemIdx(isa.SizeD, isa.EBX, isa.EAX, 4, 0), asm.R(isa.EBP))
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.MemIdx(isa.SizeD, isa.EBX, isa.EDX, 4, 0), asm.R(isa.EBP))
+	// swap im[i], im[j]
+	b.I(isa.MOV, asm.R(isa.EBP), asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 0))
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.R(isa.EBP), asm.MemIdx(isa.SizeD, isa.EDI, isa.EDX, 4, 0))
+	b.I(isa.MOV, asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 0), asm.R(isa.EBP))
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.MemIdx(isa.SizeD, isa.EDI, isa.EDX, 4, 0), asm.R(isa.EBP))
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(8))
+	b.I(isa.DEC, asm.R(isa.ECX))
+	b.J(isa.JNE, name+".br")
+
+	// --- Butterfly stages.
+	// Registers: ebx=re, edi=im, ebp=size, esi=start, ecx=k, edx=scratch.
+	b.Label(name + ".stages")
+	emit.LoadArg(b, isa.EBX, 0)
+	emit.LoadArg(b, isa.EDI, 1)
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(2)) // size = 2
+
+	b.Label(name + ".stage")
+	if !cfg.DivPerButterfly || cfg.RecomputeTwiddles {
+		// The twiddle stride n/size, hoisted (or needed by the per-stage
+		// twiddle computation below).
+		b.I(isa.MOV, asm.R(isa.EAX), emit.Arg(2))
+		b.I(isa.CDQ)
+		b.I(isa.IDIV, asm.R(isa.EBP))
+		b.I(isa.MOV, asm.Sym(isa.SizeD, name+".step", 0), asm.R(isa.EAX))
+	}
+	if cfg.RecomputeTwiddles {
+		// for k < size/2: idx = k*step; costab[idx] = cos(idx*angc),
+		// sintab[idx] = sin(idx*angc). Straightforward C calls the trig
+		// functions here rather than precomputing — the cost the fft.c
+		// baseline carries.
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0))
+		b.Label(name + ".twl")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBP))
+		b.I(isa.SHR, asm.R(isa.EAX), asm.Imm(1))
+		b.I(isa.CMP, asm.R(isa.ECX), asm.R(isa.EAX))
+		b.J(isa.JGE, name+".twdone")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, name+".step", 0))
+		b.I(isa.IMUL, asm.R(isa.EAX), asm.R(isa.ECX))
+		b.I(isa.MOV, asm.Sym(isa.SizeD, name+".kvar", 0), asm.R(isa.EAX))
+		b.I(isa.MOV, asm.R(isa.EDX), asm.R(isa.EAX)) // idx
+		b.I(isa.FILD, asm.R(isa.FP0), asm.Sym(isa.SizeD, name+".kvar", 0))
+		b.I(isa.FMUL, asm.R(isa.FP0), asm.Sym(isa.SizeQ, name+".angc", 0))
+		b.I(isa.FLD, asm.R(isa.FP1), asm.R(isa.FP0))
+		b.I(isa.FCOS, asm.R(isa.FP1))
+		b.I(isa.MOV, asm.R(isa.ESI), emit.Arg(3)) // costab
+		b.I(isa.FST, asm.MemIdx(isa.SizeD, isa.ESI, isa.EDX, 4, 0), asm.R(isa.FP1))
+		b.I(isa.FSIN, asm.R(isa.FP0))
+		b.I(isa.MOV, asm.R(isa.ESI), emit.Arg(4)) // sintab
+		b.I(isa.FST, asm.MemIdx(isa.SizeD, isa.ESI, isa.EDX, 4, 0), asm.R(isa.FP0))
+		b.I(isa.INC, asm.R(isa.ECX))
+		b.J(isa.JMP, name+".twl")
+		b.Label(name + ".twdone")
+	}
+	b.I(isa.MOV, asm.R(isa.ESI), asm.Imm(0)) // start = 0
+
+	b.Label(name + ".group")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0)) // k = 0
+
+	b.Label(name + ".bfly")
+	// twiddle index = k * (n / size); table pointers come off the stack.
+	if cfg.DivPerButterfly {
+		b.I(isa.MOV, asm.R(isa.EAX), emit.Arg(2)) // n
+		b.I(isa.CDQ)
+		b.I(isa.IDIV, asm.R(isa.EBP)) // eax = n / size
+	} else {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, name+".step", 0))
+	}
+	b.I(isa.IMUL, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.R(isa.EAX)) // edx = twiddle index
+
+	// i = start + k, j = i + size/2 (element indices).
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ESI))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ECX)) // eax = i
+	b.I(isa.PUSH, asm.R(isa.ECX))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EBP))
+	b.I(isa.SHR, asm.R(isa.ECX), asm.Imm(1))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.R(isa.EAX)) // ecx = j
+
+	// Load twiddle w = (wr, wi). Stack now holds one push; args shift by 4.
+	pArg := func(i int) isa.Operand { return asm.MemD(isa.ESP, int32(8+4*i)) }
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	pArg2 := func(i int) isa.Operand { return asm.MemD(isa.ESP, int32(12+4*i)) }
+	_ = pArg
+	b.I(isa.MOV, asm.R(isa.EBP), pArg2(3))                                      // costab
+	b.I(isa.FLD, asm.R(isa.FP6), asm.MemIdx(isa.SizeD, isa.EBP, isa.EDX, 4, 0)) // wr
+	b.I(isa.MOV, asm.R(isa.EBP), pArg2(4))                                      // sintab
+	b.I(isa.FLD, asm.R(isa.FP7), asm.MemIdx(isa.SizeD, isa.EBP, isa.EDX, 4, 0)) // wi
+
+	// tr = wr*re[j] - wi*im[j]; ti = wr*im[j] + wi*re[j]
+	b.I(isa.FLD, asm.R(isa.FP0), asm.R(isa.FP6))
+	b.I(isa.FMUL, asm.R(isa.FP0), asm.MemIdx(isa.SizeD, isa.EBX, isa.ECX, 4, 0))
+	b.I(isa.FLD, asm.R(isa.FP1), asm.R(isa.FP7))
+	b.I(isa.FMUL, asm.R(isa.FP1), asm.MemIdx(isa.SizeD, isa.EDI, isa.ECX, 4, 0))
+	b.I(isa.FSUB, asm.R(isa.FP0), asm.R(isa.FP1)) // fp0 = tr
+	b.I(isa.FLD, asm.R(isa.FP2), asm.R(isa.FP6))
+	b.I(isa.FMUL, asm.R(isa.FP2), asm.MemIdx(isa.SizeD, isa.EDI, isa.ECX, 4, 0))
+	b.I(isa.FLD, asm.R(isa.FP3), asm.R(isa.FP7))
+	b.I(isa.FMUL, asm.R(isa.FP3), asm.MemIdx(isa.SizeD, isa.EBX, isa.ECX, 4, 0))
+	b.I(isa.FADD, asm.R(isa.FP2), asm.R(isa.FP3)) // fp2 = ti
+
+	if cfg.MemTemps {
+		// Older library code rounds the temporaries through memory.
+		b.I(isa.FST, asm.Sym(isa.SizeD, name+".tmp", 0), asm.R(isa.FP0))
+		b.I(isa.FST, asm.Sym(isa.SizeD, name+".tmp", 4), asm.R(isa.FP2))
+		b.I(isa.FLD, asm.R(isa.FP0), asm.Sym(isa.SizeD, name+".tmp", 0))
+		b.I(isa.FLD, asm.R(isa.FP2), asm.Sym(isa.SizeD, name+".tmp", 4))
+	}
+
+	// re[j] = re[i] - tr; re[i] += tr (and the same for im).
+	b.I(isa.FLD, asm.R(isa.FP4), asm.MemIdx(isa.SizeD, isa.EBX, isa.EAX, 4, 0))
+	b.I(isa.FLD, asm.R(isa.FP5), asm.R(isa.FP4))
+	b.I(isa.FSUB, asm.R(isa.FP5), asm.R(isa.FP0))
+	b.I(isa.FST, asm.MemIdx(isa.SizeD, isa.EBX, isa.ECX, 4, 0), asm.R(isa.FP5))
+	b.I(isa.FADD, asm.R(isa.FP4), asm.R(isa.FP0))
+	b.I(isa.FST, asm.MemIdx(isa.SizeD, isa.EBX, isa.EAX, 4, 0), asm.R(isa.FP4))
+	b.I(isa.FLD, asm.R(isa.FP4), asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 0))
+	b.I(isa.FLD, asm.R(isa.FP5), asm.R(isa.FP4))
+	b.I(isa.FSUB, asm.R(isa.FP5), asm.R(isa.FP2))
+	b.I(isa.FST, asm.MemIdx(isa.SizeD, isa.EDI, isa.ECX, 4, 0), asm.R(isa.FP5))
+	b.I(isa.FADD, asm.R(isa.FP4), asm.R(isa.FP2))
+	b.I(isa.FST, asm.MemIdx(isa.SizeD, isa.EDI, isa.EAX, 4, 0), asm.R(isa.FP4))
+
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.POP, asm.R(isa.ECX))
+
+	// k++; k < size/2 ?
+	b.I(isa.INC, asm.R(isa.ECX))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.R(isa.EBP))
+	b.I(isa.SHR, asm.R(isa.EDX), asm.Imm(1))
+	b.I(isa.CMP, asm.R(isa.ECX), asm.R(isa.EDX))
+	b.J(isa.JL, name+".bfly")
+
+	// start += size; start < n ?
+	b.I(isa.ADD, asm.R(isa.ESI), asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.ESI), emit.Arg(2))
+	b.J(isa.JL, name+".group")
+
+	// size <<= 1; size <= n ?
+	b.I(isa.SHL, asm.R(isa.EBP), asm.Imm(1))
+	b.I(isa.CMP, asm.R(isa.EBP), emit.Arg(2))
+	b.J(isa.JLE, name+".stage")
+	b.Ret()
+}
+
+// TwiddleTablesF32 builds the float32 cos/sin tables (cos(2πk/n),
+// -sin(2πk/n)) the FFT routines consume.
+func TwiddleTablesF32(n int) (cos, sin []float32) {
+	cos = make([]float32, n/2)
+	sin = make([]float32, n/2)
+	for k := 0; k < n/2; k++ {
+		ang := 2 * math.Pi * float64(k) / float64(n)
+		cos[k] = float32(math.Cos(ang))
+		sin[k] = float32(-math.Sin(ang))
+	}
+	return cos, sin
+}
+
+// BitReverseSwaps builds the (i, j) swap list with i < j for an n-point
+// bit-reverse permutation.
+func BitReverseSwaps(n int) []int32 {
+	var out []int32
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			out = append(out, int32(i), int32(j))
+		}
+	}
+	return out
+}
+
+// ModelFftF32 mirrors the assembly FFT cores operation for operation:
+// float32 storage, float64 arithmetic in the FP registers, optional
+// float32 rounding of the butterfly temporaries (the MemTemps preset).
+func ModelFftF32(re, im []float32, cos, sin []float32, memTemps bool) {
+	n := len(re)
+	// Bit-reverse (the swap table is equivalent to this in-place pass).
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < size/2; k++ {
+				idx := k * step
+				wr := float64(cos[idx])
+				wi := float64(sin[idx])
+				i := start + k
+				jj := i + size/2
+				tr := wr*float64(re[jj]) - wi*float64(im[jj])
+				ti := wr*float64(im[jj]) + wi*float64(re[jj])
+				if memTemps {
+					tr = float64(float32(tr))
+					ti = float64(float32(ti))
+				}
+				oldRe := float64(re[i])
+				re[jj] = float32(oldRe - tr)
+				re[i] = float32(oldRe + tr)
+				oldIm := float64(im[i])
+				im[jj] = float32(oldIm - ti)
+				im[i] = float32(oldIm + ti)
+			}
+		}
+	}
+}

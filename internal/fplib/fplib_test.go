@@ -1,0 +1,242 @@
+package fplib
+
+import (
+	"math"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/synth"
+	"mmxdsp/internal/vm"
+)
+
+func runProgram(t *testing.T, b *asm.Builder) *vm.CPU {
+	t.Helper()
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := vm.New(p)
+	if err := c.Run(1 << 26); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func readF32s(c *vm.CPU, sym string, n int) []float32 {
+	addr := c.Prog.Addr(sym)
+	out := make([]float32, n)
+	for i := range out {
+		raw, ok := c.Mem.LoadU32(addr + uint32(4*i))
+		if !ok {
+			panic("readF32s out of range")
+		}
+		out[i] = math.Float32frombits(raw)
+	}
+	return out
+}
+
+func TestFpFirMatchesReference(t *testing.T) {
+	const taps = 35
+	const samples = 64
+	coefF := dsp.LowpassFIR(taps, 0.125)
+	coef32 := make([]float32, taps)
+	for i, v := range coefF {
+		coef32[i] = float32(v)
+	}
+	input := synth.MultiTone(samples, 3, 0.05, 0.21)
+	in32 := make([]float32, samples)
+	for i, v := range input {
+		in32[i] = float32(v)
+	}
+
+	b := asm.NewBuilder("t")
+	EmitFirF32(b)
+	b.Floats("coef", coef32)
+	b.Floats("in", in32)
+	b.Reserve("hist", 4*taps)
+	b.Reserve("out", 4*samples)
+	b.Entry()
+	b.Proc("main")
+	// for each sample: out[i] = fpFir(hist, coef, taps, in[i])
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0))
+	b.Label("sample")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.SymIdx(isa.SizeD, "in", isa.EBP, 4, 0))
+	emit.Call(b, "fpFir", asm.ImmSym("hist", 0), asm.ImmSym("coef", 0),
+		asm.Imm(taps), asm.R(isa.EAX))
+	b.I(isa.FST, asm.SymIdx(isa.SizeD, "out", isa.EBP, 4, 0), asm.R(isa.FP0))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.Imm(samples))
+	b.J(isa.JL, "sample")
+	b.I(isa.HALT)
+
+	c := runProgram(t, b)
+	got := readF32s(c, "out", samples)
+
+	// Reference: float32 history, float64 accumulation — mirroring the asm.
+	hist := make([]float32, taps)
+	for i := 0; i < samples; i++ {
+		copy(hist[1:], hist)
+		hist[0] = in32[i]
+		var acc float64
+		for k := 0; k < taps; k++ {
+			acc += float64(hist[k]) * float64(coef32[k])
+		}
+		want := float32(acc)
+		if got[i] != want {
+			t.Fatalf("sample %d: vm %g, ref %g", i, got[i], want)
+		}
+	}
+}
+
+func TestFpIirBlockMatchesReference(t *testing.T) {
+	bc, ac := dsp.ButterworthBandpass(4, 0.1, 0.2)
+	ref := dsp.NewIIR(bc, ac)
+	const blocks = 8
+	const blockLen = 8
+	input := synth.MultiTone(blocks*blockLen, 5, 0.15, 0.33)
+
+	nb := len(bc)     // 9
+	na := len(ac) - 1 // 8
+
+	b := asm.NewBuilder("t")
+	EmitIirBlockF64(b)
+	// State block: nb, na (dwords), then b, a, xh, yh doubles.
+	// The state block must be contiguous: histories are zero-initialized
+	// doubles in the data section, not BSS.
+	b.Dwords("state.hdr", []int32{int32(nb), int32(na)})
+	b.Doubles("state.b", bc)
+	b.Doubles("state.a", ac[1:])
+	b.Doubles("state.xh", make([]float64, nb))
+	b.Doubles("state.yh", make([]float64, na))
+	b.Doubles("in", input)
+	b.Reserve("out", 8*blocks*blockLen)
+	b.Entry()
+	b.Proc("main")
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0))
+	b.Label("blk")
+	// in/out pointers for this block.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBP))
+	b.I(isa.SHL, asm.R(isa.EAX), asm.Imm(6)) // blockLen*8 bytes
+	b.I(isa.MOV, asm.R(isa.EBX), asm.ImmSym("in", 0))
+	b.I(isa.ADD, asm.R(isa.EBX), asm.R(isa.EAX))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.ImmSym("out", 0))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.PUSH, asm.R(isa.EBP)) // all registers are caller-saved
+	emit.Call(b, "fpIirBlock", asm.ImmSym("state.hdr", 0), asm.R(isa.EBX),
+		asm.R(isa.ECX), asm.Imm(blockLen))
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.Imm(blocks))
+	b.J(isa.JL, "blk")
+	b.I(isa.HALT)
+
+	c := runProgram(t, b)
+	addr := c.Prog.Addr("out")
+	for i := 0; i < blocks*blockLen; i++ {
+		raw, _ := c.Mem.LoadU64(addr + uint32(8*i))
+		got := math.Float64frombits(raw)
+		want := ref.Process(input[i])
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("sample %d: vm %g, ref %g", i, got, want)
+		}
+	}
+}
+
+func TestFpFftMatchesFloatFFT(t *testing.T) {
+	const n = 64
+	sig := synth.MultiTone(n, 7, 0.1, 0.3)
+	re32 := make([]float32, n)
+	im32 := make([]float32, n)
+	for i, v := range sig {
+		re32[i] = float32(v)
+	}
+	cos, sin := TwiddleTablesF32(n)
+	swaps := BitReverseSwaps(n)
+
+	b := asm.NewBuilder("t")
+	EmitFftF32(b)
+	b.Floats("re", re32)
+	b.Floats("im", im32)
+	b.Floats("cos", cos)
+	b.Floats("sin", sin)
+	b.Dwords("br", swaps)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "fpFft", asm.ImmSym("re", 0), asm.ImmSym("im", 0), asm.Imm(n),
+		asm.ImmSym("cos", 0), asm.ImmSym("sin", 0), asm.ImmSym("br", 0),
+		asm.Imm(int64(len(swaps)/2)))
+	b.I(isa.HALT)
+
+	c := runProgram(t, b)
+	gotRe := readF32s(c, "re", n)
+	gotIm := readF32s(c, "im", n)
+
+	wantRe := make([]float64, n)
+	wantIm := make([]float64, n)
+	for i, v := range sig {
+		wantRe[i] = v
+	}
+	if err := dsp.FFT(wantRe, wantIm); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		if math.Abs(float64(gotRe[k])-wantRe[k]) > 1e-3 ||
+			math.Abs(float64(gotIm[k])-wantIm[k]) > 1e-3 {
+			t.Fatalf("bin %d: vm (%g, %g), ref (%g, %g)",
+				k, gotRe[k], gotIm[k], wantRe[k], wantIm[k])
+		}
+	}
+}
+
+func TestBitReverseSwapsMatchesPermutation(t *testing.T) {
+	for _, n := range []int{4, 8, 32, 256} {
+		swaps := BitReverseSwaps(n)
+		// Applying the swaps must equal the reference bit-reverse of an
+		// index ramp.
+		v := make([]float64, n)
+		w := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i)
+			w[i] = float64(i)
+		}
+		for i := 0; i < len(swaps); i += 2 {
+			a, bIdx := swaps[i], swaps[i+1]
+			v[a], v[bIdx] = v[bIdx], v[a]
+		}
+		im := make([]float64, n)
+		// dsp's internal bitReverse is exercised through FFT; emulate here.
+		j := 0
+		for i := 1; i < n; i++ {
+			bit := n >> 1
+			for ; j&bit != 0; bit >>= 1 {
+				j ^= bit
+			}
+			j |= bit
+			if i < j {
+				w[i], w[j] = w[j], w[i]
+			}
+		}
+		_ = im
+		for i := range v {
+			if v[i] != w[i] {
+				t.Fatalf("n=%d: swap list diverges at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestTwiddleTables(t *testing.T) {
+	cos, sin := TwiddleTablesF32(8)
+	if len(cos) != 4 || len(sin) != 4 {
+		t.Fatal("table length")
+	}
+	if cos[0] != 1 || sin[0] != 0 {
+		t.Errorf("k=0 twiddle = (%g, %g)", cos[0], sin[0])
+	}
+	if math.Abs(float64(cos[2])) > 1e-7 || math.Abs(float64(sin[2])+1) > 1e-7 {
+		t.Errorf("k=2 twiddle = (%g, %g), want (0, -1)", cos[2], sin[2])
+	}
+}

@@ -1,0 +1,355 @@
+// Package g722 implements the ITU-T G.722 wideband speech codec at
+// 64 kbit/s: a 24-tap quadrature-mirror filter bank splits 16 kHz input
+// into two 8 kHz sub-bands, the lower band is coded with 6-bit ADPCM and
+// the upper band with 2-bit ADPCM, each with the standard adaptive
+// quantizer scale and pole/zero predictor adaptation (blocks 2–4 of the
+// recommendation). Structure and constants follow the ITU reference
+// implementation.
+//
+// This package is the pure-Go reference for the g722 benchmark: the VM
+// programs run the same per-sample pipeline and are validated against it.
+package g722
+
+// saturate clamps to int16 range.
+func saturate(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+// band holds the per-band ADPCM predictor state (blocks 2-4).
+type band struct {
+	s, sp, sz int32
+	r         [3]int32
+	a, ap     [3]int32
+	p         [3]int32
+	d         [7]int32
+	b, bp     [7]int32
+	sg        [7]int32
+	nb, det   int32
+}
+
+// Quantizer and adaptation tables from the recommendation.
+var (
+	qmfCoeffs = [12]int32{3, -11, 12, 32, -210, 951, 3876, -805, 362, -156, 53, -11}
+
+	q6 = [32]int32{0, 35, 72, 110, 150, 190, 233, 276, 323, 370, 422, 473,
+		530, 587, 650, 714, 786, 858, 940, 1023, 1121, 1219, 1339, 1458,
+		1612, 1765, 1980, 2195, 2557, 2919, 0, 0}
+	iln = [32]int32{0, 63, 62, 31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21,
+		20, 19, 18, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 0}
+	ilp = [32]int32{0, 61, 60, 59, 58, 57, 56, 55, 54, 53, 52, 51, 50, 49,
+		48, 47, 46, 45, 44, 43, 42, 41, 40, 39, 38, 37, 36, 35, 34, 33, 32, 0}
+	wl   = [8]int32{-60, -30, 58, 172, 334, 538, 1198, 3042}
+	rl42 = [16]int32{0, 7, 6, 5, 4, 3, 2, 1, 7, 6, 5, 4, 3, 2, 1, 0}
+	ilb  = [32]int32{2048, 2093, 2139, 2186, 2233, 2282, 2332, 2383,
+		2435, 2489, 2543, 2599, 2656, 2714, 2774, 2834,
+		2896, 2960, 3025, 3091, 3158, 3228, 3298, 3371,
+		3444, 3520, 3597, 3676, 3756, 3838, 3922, 4008}
+	qm4 = [16]int32{0, -20456, -12896, -8968, -6288, -4240, -2584, -1200,
+		20456, 12896, 8968, 6288, 4240, 2584, 1200, 0}
+	qm2 = [4]int32{-7408, -1616, 7408, 1616}
+	qm6 = [64]int32{
+		-136, -136, -136, -136, -24808, -21904, -19008, -16704,
+		-14984, -13512, -12280, -11192, -10232, -9360, -8576, -7856,
+		-7192, -6576, -6000, -5456, -4944, -4464, -4008, -3576,
+		-3168, -2776, -2400, -2032, -1688, -1360, -1040, -728,
+		24808, 21904, 19008, 16704, 14984, 13512, 12280, 11192,
+		10232, 9360, 8576, 7856, 7192, 6576, 6000, 5456,
+		4944, 4464, 4008, 3576, 3168, 2776, 2400, 2032,
+		1688, 1360, 1040, 728, 432, 136, -432, -136}
+	ihn = [3]int32{0, 1, 0}
+	ihp = [3]int32{0, 3, 2}
+	wh  = [3]int32{0, -214, 798}
+	rh2 = [4]int32{2, 1, 2, 1}
+)
+
+// block4 is the shared predictor adaptation (RECONS, PARREC, UPPOL2,
+// UPPOL1, UPZERO, DELAYA, FILTEP, FILTEZ, PREDIC).
+func (bd *band) block4(d int32) {
+	bd.d[0] = d
+	bd.r[0] = saturate(bd.s + d)
+	bd.p[0] = saturate(bd.sz + d)
+
+	// UPPOL2
+	for i := 0; i < 3; i++ {
+		bd.sg[i] = bd.p[i] >> 15
+	}
+	wd1 := saturate(bd.a[1] << 2)
+	wd2 := wd1
+	if bd.sg[0] == bd.sg[1] {
+		wd2 = -wd1
+	}
+	if wd2 > 32767 {
+		wd2 = 32767
+	}
+	wd3 := int32(-128)
+	if bd.sg[0] == bd.sg[2] {
+		wd3 = 128
+	}
+	wd3 += wd2 >> 7
+	wd3 += (bd.a[2] * 32512) >> 15
+	if wd3 > 12288 {
+		wd3 = 12288
+	} else if wd3 < -12288 {
+		wd3 = -12288
+	}
+	bd.ap[2] = wd3
+
+	// UPPOL1
+	bd.sg[0] = bd.p[0] >> 15
+	bd.sg[1] = bd.p[1] >> 15
+	wd1 = int32(-192)
+	if bd.sg[0] == bd.sg[1] {
+		wd1 = 192
+	}
+	wd2 = (bd.a[1] * 32640) >> 15
+	bd.ap[1] = saturate(wd1 + wd2)
+	wd3 = saturate(15360 - bd.ap[2])
+	if bd.ap[1] > wd3 {
+		bd.ap[1] = wd3
+	} else if bd.ap[1] < -wd3 {
+		bd.ap[1] = -wd3
+	}
+
+	// UPZERO
+	wd1 = 0
+	if d != 0 {
+		wd1 = 128
+	}
+	bd.sg[0] = d >> 15
+	for i := 1; i < 7; i++ {
+		bd.sg[i] = bd.d[i] >> 15
+		wd2 := -wd1
+		if bd.sg[i] == bd.sg[0] {
+			wd2 = wd1
+		}
+		wd3 := (bd.b[i] * 32640) >> 15
+		bd.bp[i] = saturate(wd2 + wd3)
+	}
+
+	// DELAYA
+	for i := 6; i > 0; i-- {
+		bd.d[i] = bd.d[i-1]
+		bd.b[i] = bd.bp[i]
+	}
+	for i := 2; i > 0; i-- {
+		bd.r[i] = bd.r[i-1]
+		bd.p[i] = bd.p[i-1]
+		bd.a[i] = bd.ap[i]
+	}
+
+	// FILTEP
+	wd1 = saturate(bd.r[1] + bd.r[1])
+	wd1 = (bd.a[1] * wd1) >> 15
+	wd2 = saturate(bd.r[2] + bd.r[2])
+	wd2 = (bd.a[2] * wd2) >> 15
+	bd.sp = saturate(wd1 + wd2)
+
+	// FILTEZ
+	bd.sz = 0
+	for i := 6; i > 0; i-- {
+		wd := saturate(bd.d[i] + bd.d[i])
+		bd.sz += (bd.b[i] * wd) >> 15
+	}
+	bd.sz = saturate(bd.sz)
+
+	// PREDIC
+	bd.s = saturate(bd.sp + bd.sz)
+}
+
+// logscl updates the lower-band quantizer scale (blocks 3L).
+func (bd *band) logscl(il int32) {
+	ril := il >> 2
+	wd := (bd.nb * 127) >> 7
+	bd.nb = wd + wl[rl42[ril]]
+	if bd.nb < 0 {
+		bd.nb = 0
+	} else if bd.nb > 18432 {
+		bd.nb = 18432
+	}
+	wd1 := (bd.nb >> 6) & 31
+	wd2 := int32(8) - (bd.nb >> 11)
+	var wd3 int32
+	if wd2 < 0 {
+		wd3 = ilb[wd1] << uint(-wd2)
+	} else {
+		wd3 = ilb[wd1] >> uint(wd2)
+	}
+	bd.det = wd3 << 2
+}
+
+// logsch updates the higher-band quantizer scale (blocks 3H).
+func (bd *band) logsch(ih int32) {
+	wd := (bd.nb * 127) >> 7
+	bd.nb = wd + wh[rh2[ih]]
+	if bd.nb < 0 {
+		bd.nb = 0
+	} else if bd.nb > 22528 {
+		bd.nb = 22528
+	}
+	wd1 := (bd.nb >> 6) & 31
+	wd2 := int32(10) - (bd.nb >> 11)
+	var wd3 int32
+	if wd2 < 0 {
+		wd3 = ilb[wd1] << uint(-wd2)
+	} else {
+		wd3 = ilb[wd1] >> uint(wd2)
+	}
+	bd.det = wd3 << 2
+}
+
+// Encoder compresses 16 kHz 16-bit audio to 64 kbit/s G.722.
+type Encoder struct {
+	low, high band
+	x         [24]int32
+}
+
+// NewEncoder returns an initialized encoder.
+func NewEncoder() *Encoder {
+	e := &Encoder{}
+	e.low.det = 32
+	e.high.det = 8
+	return e
+}
+
+// EncodePair consumes two consecutive input samples and returns one
+// 8-bit codeword (2 samples in, 1 byte out: 64 kbit/s from 256 kbit/s PCM).
+func (e *Encoder) EncodePair(s0, s1 int16) uint8 {
+	// Transmit QMF.
+	copy(e.x[:22], e.x[2:24])
+	e.x[22] = int32(s0)
+	e.x[23] = int32(s1)
+	var sumOdd, sumEven int32
+	for i := 0; i < 12; i++ {
+		sumOdd += e.x[2*i] * qmfCoeffs[i]
+		sumEven += e.x[2*i+1] * qmfCoeffs[11-i]
+	}
+	xlow := (sumEven + sumOdd) >> 14
+	xhigh := (sumEven - sumOdd) >> 14
+
+	// Lower band: 6-bit ADPCM.
+	el := saturate(xlow - e.low.s)
+	wd := el
+	if el < 0 {
+		wd = -(el + 1)
+	}
+	i := int32(1)
+	for ; i < 30; i++ {
+		wd1 := (q6[i] * e.low.det) >> 12
+		if wd < wd1 {
+			break
+		}
+	}
+	var ilow int32
+	if el < 0 {
+		ilow = iln[i]
+	} else {
+		ilow = ilp[i]
+	}
+	ril := ilow >> 2
+	dlow := (e.low.det * qm4[ril]) >> 15
+	e.low.logscl(ilow)
+	e.low.block4(dlow)
+
+	// Higher band: 2-bit ADPCM.
+	eh := saturate(xhigh - e.high.s)
+	wd = eh
+	if eh < 0 {
+		wd = -(eh + 1)
+	}
+	wd1 := (564 * e.high.det) >> 12
+	mih := int32(1)
+	if wd >= wd1 {
+		mih = 2
+	}
+	var ihigh int32
+	if eh < 0 {
+		ihigh = ihn[mih]
+	} else {
+		ihigh = ihp[mih]
+	}
+	dhigh := (e.high.det * qm2[ihigh]) >> 15
+	e.high.logsch(ihigh)
+	e.high.block4(dhigh)
+
+	return uint8(ihigh<<6 | ilow)
+}
+
+// Encode compresses a sample buffer (odd trailing sample is dropped).
+func (e *Encoder) Encode(samples []int16) []uint8 {
+	out := make([]uint8, 0, len(samples)/2)
+	for i := 0; i+1 < len(samples); i += 2 {
+		out = append(out, e.EncodePair(samples[i], samples[i+1]))
+	}
+	return out
+}
+
+// Decoder expands 64 kbit/s G.722 back to 16 kHz 16-bit audio.
+type Decoder struct {
+	low, high band
+	x         [24]int32
+}
+
+// NewDecoder returns an initialized decoder.
+func NewDecoder() *Decoder {
+	d := &Decoder{}
+	d.low.det = 32
+	d.high.det = 8
+	return d
+}
+
+// DecodeByte expands one codeword into two output samples.
+func (d *Decoder) DecodeByte(code uint8) (int16, int16) {
+	ilow := int32(code) & 0x3F
+	ihigh := (int32(code) >> 6) & 0x03
+
+	// Lower band. The output reconstruction uses the 6-bit inverse
+	// quantizer, but the predictor adapts on the 4-bit inverse — the same
+	// value the encoder used — so both predictors track exactly.
+	dlowt := (d.low.det * qm4[ilow>>2]) >> 15
+	rlow := saturate((d.low.det*qm6[ilow])>>15 + d.low.s)
+	if rlow > 16383 {
+		rlow = 16383
+	} else if rlow < -16384 {
+		rlow = -16384
+	}
+	d.low.logscl(ilow)
+	d.low.block4(dlowt)
+
+	// Higher band.
+	dhigh := (d.high.det * qm2[ihigh]) >> 15
+	rhigh := saturate(dhigh + d.high.s)
+	if rhigh > 16383 {
+		rhigh = 16383
+	} else if rhigh < -16384 {
+		rhigh = -16384
+	}
+	d.high.logsch(ihigh)
+	d.high.block4(dhigh)
+
+	// Receive QMF.
+	copy(d.x[:22], d.x[2:24])
+	d.x[22] = rlow + rhigh
+	d.x[23] = rlow - rhigh
+	var xout1, xout2 int32
+	for i := 0; i < 12; i++ {
+		xout2 += d.x[2*i] * qmfCoeffs[i]
+		xout1 += d.x[2*i+1] * qmfCoeffs[11-i]
+	}
+	return int16(saturate(xout1 >> 11)), int16(saturate(xout2 >> 11))
+}
+
+// Decode expands a codeword buffer.
+func (d *Decoder) Decode(codes []uint8) []int16 {
+	out := make([]int16, 0, 2*len(codes))
+	for _, c := range codes {
+		a, b := d.DecodeByte(c)
+		out = append(out, a, b)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package g722
+
+import (
+	"math"
+	"testing"
+
+	"mmxdsp/internal/synth"
+)
+
+// snr computes the signal-to-noise ratio in dB between a reference and a
+// reconstruction, allowing a fixed sample delay (the QMF bank is causal
+// with ~22 samples of group delay).
+func snr(ref, got []int16, delay int) float64 {
+	var sig, noise float64
+	n := len(ref) - delay
+	if n > len(got)-delay {
+		n = len(got) - delay
+	}
+	for i := 0; i < n-delay; i++ {
+		r := float64(ref[i])
+		g := float64(got[i+delay])
+		sig += r * r
+		noise += (r - g) * (r - g)
+	}
+	if noise == 0 {
+		return 99
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+func bestSNR(ref, got []int16) (float64, int) {
+	best, bestDelay := -99.0, 0
+	for d := 0; d < 40; d++ {
+		if s := snr(ref, got, d); s > best {
+			best, bestDelay = s, d
+		}
+	}
+	return best, bestDelay
+}
+
+func TestRoundTripSpeechSNR(t *testing.T) {
+	speech := synth.Speech(3000, 1)
+	in := make([]int16, len(speech))
+	for i, v := range speech {
+		in[i] = int16(v * 12000)
+	}
+	codes := NewEncoder().Encode(in)
+	if len(codes) != len(in)/2 {
+		t.Fatalf("code count %d, want %d (2 samples per byte)", len(codes), len(in)/2)
+	}
+	out := NewDecoder().Decode(codes)
+	if len(out) != 2*len(codes) {
+		t.Fatalf("decoded %d samples, want %d", len(out), 2*len(codes))
+	}
+	s, d := bestSNR(in, out)
+	t.Logf("G.722 speech SNR = %.1f dB at delay %d", s, d)
+	if s < 15 {
+		t.Errorf("round-trip SNR = %.1f dB, want >= 15 (toll-quality wideband)", s)
+	}
+}
+
+func TestRoundTripToneSNR(t *testing.T) {
+	// A 1 kHz tone at 16 kHz sampling sits well inside the lower band.
+	n := 2048
+	in := make([]int16, n)
+	for i := range in {
+		in[i] = int16(10000 * math.Sin(2*math.Pi*1000*float64(i)/16000))
+	}
+	out := NewDecoder().Decode(NewEncoder().Encode(in))
+	s, _ := bestSNR(in, out)
+	if s < 20 {
+		t.Errorf("tone SNR = %.1f dB, want >= 20", s)
+	}
+}
+
+func TestSilenceStaysQuiet(t *testing.T) {
+	in := make([]int16, 512)
+	out := NewDecoder().Decode(NewEncoder().Encode(in))
+	for i, v := range out {
+		if v > 200 || v < -200 {
+			t.Fatalf("silence decoded to %d at %d", v, i)
+		}
+	}
+}
+
+func TestEncoderDeterministic(t *testing.T) {
+	speech := synth.Speech(500, 9)
+	in := make([]int16, len(speech))
+	for i, v := range speech {
+		in[i] = int16(v * 8000)
+	}
+	a := NewEncoder().Encode(in)
+	b := NewEncoder().Encode(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoder must be deterministic")
+		}
+	}
+}
+
+func TestCodewordsUseFullRange(t *testing.T) {
+	speech := synth.Speech(3000, 1)
+	in := make([]int16, len(speech))
+	for i, v := range speech {
+		in[i] = int16(v * 12000)
+	}
+	codes := NewEncoder().Encode(in)
+	var lowSeen, highSeen [64]bool
+	distinctLow, distinctHigh := 0, 0
+	for _, c := range codes {
+		l := c & 0x3F
+		h := c >> 6
+		if !lowSeen[l] {
+			lowSeen[l] = true
+			distinctLow++
+		}
+		if !highSeen[h] {
+			highSeen[h] = true
+			distinctHigh++
+		}
+	}
+	if distinctLow < 20 {
+		t.Errorf("only %d distinct lower-band codes; quantizer not exercising range", distinctLow)
+	}
+	if distinctHigh < 3 {
+		t.Errorf("only %d distinct upper-band codes", distinctHigh)
+	}
+}
+
+func TestOddLengthInputDropsTrailingSample(t *testing.T) {
+	in := make([]int16, 101)
+	codes := NewEncoder().Encode(in)
+	if len(codes) != 50 {
+		t.Errorf("odd input gave %d codes, want 50", len(codes))
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	if saturate(40000) != 32767 || saturate(-40000) != -32768 || saturate(5) != 5 {
+		t.Error("saturate wrong")
+	}
+}

@@ -1,0 +1,49 @@
+// Package imgproc implements the paper's image benchmark: uniform pixel
+// manipulation of a 640×480 24-bit RGB bitmap. Pass one scales every 8-bit
+// component to produce a dimming effect (vector multiply); pass two shifts
+// component values to switch colors (vector add with saturation).
+package imgproc
+
+import "mmxdsp/internal/dsp"
+
+// DimParams scales pixels by Num/Den. Den must be a power of two in the
+// MMX implementation (pmulhw + shift); the reference accepts any positive
+// value.
+type DimParams struct {
+	Num, Den int
+}
+
+// SwitchParams adds (R, G, B) deltas with saturation.
+type SwitchParams struct {
+	DR, DG, DB int
+}
+
+// Dim scales every component of an RGB buffer in place-free form.
+func Dim(out, in []uint8, p DimParams) {
+	dsp.ScaleBytes(out, in, p.Num, p.Den)
+}
+
+// SwitchColors adds per-channel deltas with saturation. The buffer is RGB
+// triplets.
+func SwitchColors(out, in []uint8, p SwitchParams) {
+	d := [3]int{p.DR, p.DG, p.DB}
+	for i := range in {
+		v := int(in[i]) + d[i%3]
+		if v > 255 {
+			v = 255
+		}
+		if v < 0 {
+			v = 0
+		}
+		out[i] = uint8(v)
+	}
+}
+
+// Pipeline runs dim followed by color switch, the paper's two passes.
+func Pipeline(in []uint8, dim DimParams, sw SwitchParams) []uint8 {
+	tmp := make([]uint8, len(in))
+	Dim(tmp, in, dim)
+	out := make([]uint8, len(in))
+	SwitchColors(out, tmp, sw)
+	return out
+}

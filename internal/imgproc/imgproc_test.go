@@ -1,0 +1,58 @@
+package imgproc
+
+import (
+	"testing"
+
+	"mmxdsp/internal/synth"
+)
+
+func TestDim(t *testing.T) {
+	in := []uint8{0, 64, 128, 255}
+	out := make([]uint8, 4)
+	Dim(out, in, DimParams{Num: 1, Den: 2})
+	want := []uint8{0, 32, 64, 127}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSwitchColorsPerChannel(t *testing.T) {
+	in := []uint8{100, 100, 100, 250, 250, 250}
+	out := make([]uint8, 6)
+	SwitchColors(out, in, SwitchParams{DR: 30, DG: -30, DB: 0})
+	want := []uint8{130, 70, 100, 255, 220, 250}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPipelineOn640x480(t *testing.T) {
+	in := synth.ImageRGB(640, 480, 3)
+	out := Pipeline(in, DimParams{Num: 3, Den: 4}, SwitchParams{DR: 40, DG: 0, DB: -40})
+	if len(out) != len(in) {
+		t.Fatal("length changed")
+	}
+	// Spot-check one pixel against hand computation.
+	i := 3 * (123*640 + 456)
+	r := uint8(min(255, int(in[i])*3/4+40))
+	g := uint8(int(in[i+1]) * 3 / 4)
+	bv := int(in[i+2])*3/4 - 40
+	if bv < 0 {
+		bv = 0
+	}
+	if out[i] != r || out[i+1] != g || out[i+2] != uint8(bv) {
+		t.Errorf("pixel = %d,%d,%d want %d,%d,%d",
+			out[i], out[i+1], out[i+2], r, g, bv)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+// Package isa defines the instruction-set architecture simulated by this
+// repository: an IA-32 integer subset, a flat-register x87-style floating
+// point unit, and the full MMX packed-SIMD extension, together with the
+// per-instruction metadata (class, latency, pairing attributes, Pentium II
+// micro-op decomposition) that the timing model and the VTune-style profiler
+// consume.
+//
+// The metadata tables encode the published Pentium-with-MMX characteristics
+// the paper relies on (imul = 10 cycles, pmaddwd = 3 cycles, emms up to 50
+// cycles, fdiv = 39, ...). Where exact figures are not architecturally
+// load-bearing for the paper's analysis, the tables use documented
+// approximations.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The zero value NoReg means "absent".
+type Reg uint8
+
+// General-purpose, MMX and FP registers. MMX registers are architecturally
+// aliased onto the FP registers (MMi shares storage with FPi); the VM
+// enforces the mode-switch discipline (emms) between the two files.
+const (
+	NoReg Reg = iota
+	EAX
+	EBX
+	ECX
+	EDX
+	ESI
+	EDI
+	EBP
+	ESP
+	MM0
+	MM1
+	MM2
+	MM3
+	MM4
+	MM5
+	MM6
+	MM7
+	FP0
+	FP1
+	FP2
+	FP3
+	FP4
+	FP5
+	FP6
+	FP7
+	regCount
+)
+
+// NumRegs is the number of register names including NoReg.
+const NumRegs = int(regCount)
+
+var regNames = [...]string{
+	NoReg: "-",
+	EAX:   "eax", EBX: "ebx", ECX: "ecx", EDX: "edx",
+	ESI: "esi", EDI: "edi", EBP: "ebp", ESP: "esp",
+	MM0: "mm0", MM1: "mm1", MM2: "mm2", MM3: "mm3",
+	MM4: "mm4", MM5: "mm5", MM6: "mm6", MM7: "mm7",
+	FP0: "fp0", FP1: "fp1", FP2: "fp2", FP3: "fp3",
+	FP4: "fp4", FP5: "fp5", FP6: "fp6", FP7: "fp7",
+}
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// IsGPR reports whether r is a general-purpose integer register.
+func (r Reg) IsGPR() bool { return r >= EAX && r <= ESP }
+
+// IsMMX reports whether r is an MMX register.
+func (r Reg) IsMMX() bool { return r >= MM0 && r <= MM7 }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= FP0 && r <= FP7 }
+
+// GPRIndex returns the 0-based index of a GPR.
+func (r Reg) GPRIndex() int { return int(r - EAX) }
+
+// MMXIndex returns the 0-based index of an MMX register.
+func (r Reg) MMXIndex() int { return int(r - MM0) }
+
+// FPIndex returns the 0-based index of an FP register.
+func (r Reg) FPIndex() int { return int(r - FP0) }
+
+// Size is the width of a memory access or immediate operand in bytes.
+type Size uint8
+
+// Operand widths.
+const (
+	SizeNone Size = 0
+	SizeB    Size = 1
+	SizeW    Size = 2
+	SizeD    Size = 4
+	SizeQ    Size = 8
+)
+
+// String returns the assembler width suffix.
+func (s Size) String() string {
+	switch s {
+	case SizeB:
+		return "byte"
+	case SizeW:
+		return "word"
+	case SizeD:
+		return "dword"
+	case SizeQ:
+		return "qword"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,64 @@
+// Package kernels builds the paper's four DSP kernel benchmarks — fft,
+// fir, iir and matvec — in their C-only, FP-library and MMX-library
+// versions, with the exact workloads of Table 1: a 4096-point in-place
+// FFT, a 35-tap low-pass FIR fed one sample at a time, an eighth-order
+// Butterworth bandpass IIR processing blocks of eight samples, and a
+// 512x512 matrix-vector multiply plus a length-512 dot product.
+//
+// Every program brackets its computation core with profon/profoff and is
+// validated against the pure-Go reference implementations in internal/dsp.
+package kernels
+
+import (
+	"fmt"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/vm"
+)
+
+// Benchmarks returns all kernel benchmark versions.
+func Benchmarks() []core.Benchmark {
+	out := []core.Benchmark{}
+	out = append(out, MatVec()...)
+	out = append(out, FIR()...)
+	out = append(out, IIR()...)
+	out = append(out, FFT()...)
+	return out
+}
+
+// The per-family constructors live in their own files; this variable
+// documents the full program list of Table 1.
+var programNames = []string{
+	"fft.c", "fft.fp", "fft.mmx",
+	"fir.c", "fir.fp", "fir.mmx",
+	"iir.c", "iir.fp", "iir.mmx",
+	"matvec.c", "matvec.mmx",
+}
+
+// expectInt16s compares an int16 output region against a reference slice.
+func expectInt16s(c *vm.CPU, sym string, want []int16, context string) error {
+	got, ok := c.Mem.ReadInt16s(c.Prog.Addr(sym), len(want))
+	if !ok {
+		return fmt.Errorf("%s: cannot read %q", context, sym)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: %s[%d] = %d, want %d", context, sym, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// expectInt32s compares an int32 output region against a reference slice.
+func expectInt32s(c *vm.CPU, sym string, want []int32, context string) error {
+	got, ok := c.Mem.ReadInt32s(c.Prog.Addr(sym), len(want))
+	if !ok {
+		return fmt.Errorf("%s: cannot read %q", context, sym)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: %s[%d] = %d, want %d", context, sym, i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"testing"
+
+	"mmxdsp/internal/core"
+)
+
+// runPair runs the .c (or .fp) and .mmx versions of a family and returns
+// the comparison. Shared by the kernel shape tests.
+func runPair(t *testing.T, benches []core.Benchmark, baseVer, mmxVer string) core.Ratios {
+	t.Helper()
+	var base, mmx *core.Result
+	for _, bm := range benches {
+		switch bm.Version {
+		case baseVer:
+			r, err := core.Run(bm, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			base = r
+		case mmxVer:
+			r, err := core.Run(bm, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmx = r
+		}
+	}
+	if base == nil || mmx == nil {
+		t.Fatalf("missing versions %s/%s", baseVer, mmxVer)
+	}
+	return core.Compare(base.Report, mmx.Report)
+}
+
+func TestMatVecValidatesAndSpeedsUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 512x512 workload")
+	}
+	r := runPair(t, MatVec(), core.VersionC, core.VersionMMX)
+	t.Logf("matvec ratios: %+v", r)
+	// Paper: speedup 6.61, dynamic 5.32, memrefs 2.91, static 0.220.
+	// Shape requirements: superlinear speedup (>4 despite 4-wide SIMD),
+	// large dynamic reduction, static growth.
+	if r.Speedup < 4 {
+		t.Errorf("matvec speedup = %.2f, want >= 4 (superlinear, paper 6.61)", r.Speedup)
+	}
+	if r.Speedup > 12 {
+		t.Errorf("matvec speedup = %.2f, implausibly high", r.Speedup)
+	}
+	if r.Dynamic < 3 {
+		t.Errorf("matvec dynamic ratio = %.2f, want >= 3 (paper 5.32)", r.Dynamic)
+	}
+	if r.Static >= 1 {
+		t.Errorf("matvec static ratio = %.2f, want < 1 (MMX code is bigger)", r.Static)
+	}
+	if r.MemRefs < 1.5 {
+		t.Errorf("matvec memref ratio = %.2f, want >= 1.5 (paper 2.91)", r.MemRefs)
+	}
+}

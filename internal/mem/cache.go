@@ -1,0 +1,161 @@
+package mem
+
+// Cache is one level of a set-associative LRU cache. Only tags are modeled;
+// data always comes from the flat memory image. The model exists to charge
+// miss penalties and report reference statistics, which is exactly what
+// VTune's Pentium model did.
+type Cache struct {
+	lineShift uint32
+	setMask   uint32
+	ways      int
+	// tags[set*ways+way] holds the line tag; lru holds per-way age
+	// (0 = most recently used).
+	tags  []uint32
+	valid []bool
+	lru   []uint8
+}
+
+// NewCache builds a cache of sizeBytes capacity with the given associativity
+// and line size (both powers of two).
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	sets := sizeBytes / (ways * lineBytes)
+	c := &Cache{
+		ways:  ways,
+		tags:  make([]uint32, sets*ways),
+		valid: make([]bool, sets*ways),
+		lru:   make([]uint8, sets*ways),
+	}
+	for lineBytes > 1 {
+		lineBytes >>= 1
+		c.lineShift++
+	}
+	c.setMask = uint32(sets - 1)
+	return c
+}
+
+// Access touches the line containing addr and reports whether it hit.
+// On a miss the line is allocated, evicting the LRU way.
+func (c *Cache) Access(addr uint32) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	base := int(set) * c.ways
+	// Search for a hit.
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.touch(base, w)
+			return true
+		}
+	}
+	// Miss: fill the LRU (or first invalid) way.
+	victim := 0
+	var worst uint8
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = w
+			break
+		}
+		if c.lru[i] >= worst {
+			worst = c.lru[i]
+			victim = w
+		}
+	}
+	i := base + victim
+	c.tags[i] = line
+	c.valid[i] = true
+	// A filled line is most recently used; every other way ages.
+	for w := 0; w < c.ways; w++ {
+		if w != victim && c.lru[base+w] < uint8(c.ways-1) {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[i] = 0
+	return false
+}
+
+func (c *Cache) touch(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.ways; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Reset invalidates every line.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+}
+
+// Penalties configures the extra cycles charged per access outcome. The
+// defaults follow the paper's quoted Pentium figures, interpreted
+// additively: an L1 miss pays the data-cache-miss detection cost plus the
+// L2 access; an L2 miss additionally pays the off-chip cost.
+type Penalties struct {
+	DCacheMiss int // charged on any L1 miss ("three cycles for a data cache miss")
+	L2Access   int // additionally charged when the line comes from L2 ("8 cycles for an L2 access")
+	L2Miss     int // additionally charged when L2 also misses ("15 cycles for an L2 miss")
+}
+
+// DefaultPenalties returns the paper's Pentium penalties.
+func DefaultPenalties() Penalties { return Penalties{DCacheMiss: 3, L2Access: 8, L2Miss: 15} }
+
+// HierarchyStats accumulates reference counts.
+type HierarchyStats struct {
+	Accesses uint64
+	L1Misses uint64
+	L2Misses uint64
+}
+
+// Hierarchy is the L1-data + unified-L2 cache pair with penalty accounting.
+// A nil *Hierarchy is valid and models a perfect (always-hit) memory system,
+// which the ablation benchmarks use.
+type Hierarchy struct {
+	L1, L2 *Cache
+	Pen    Penalties
+	Stats  HierarchyStats
+}
+
+// NewHierarchy builds the default Pentium-with-MMX hierarchy:
+// 16 KB 4-way L1 data cache and 512 KB 4-way L2, 32-byte lines.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:  NewCache(16*1024, 4, 32),
+		L2:  NewCache(512*1024, 4, 32),
+		Pen: DefaultPenalties(),
+	}
+}
+
+// Access models one data reference to addr and returns the extra cycles to
+// charge beyond the instruction's base latency.
+func (h *Hierarchy) Access(addr uint32) int {
+	if h == nil {
+		return 0
+	}
+	h.Stats.Accesses++
+	if h.L1.Access(addr) {
+		return 0
+	}
+	h.Stats.L1Misses++
+	extra := h.Pen.DCacheMiss + h.Pen.L2Access
+	if !h.L2.Access(addr) {
+		h.Stats.L2Misses++
+		extra += h.Pen.L2Miss
+	}
+	return extra
+}
+
+// Reset clears both cache levels and the statistics.
+func (h *Hierarchy) Reset() {
+	if h == nil {
+		return
+	}
+	h.L1.Reset()
+	h.L2.Reset()
+	h.Stats = HierarchyStats{}
+}

@@ -1,0 +1,159 @@
+// Package mem provides the flat little-endian memory image executed against
+// by the virtual machine, plus a two-level data-cache model whose miss
+// penalties follow the figures the paper quotes for the Pentium
+// ("three cycles for a data cache miss, 8 cycles for an L2 access, and
+// 15 cycles for an L2 miss").
+package mem
+
+import "encoding/binary"
+
+// Memory is a byte-addressable little-endian memory image.
+type Memory struct {
+	b []byte
+}
+
+// New allocates a zeroed memory image of the given size.
+func New(size uint32) *Memory { return &Memory{b: make([]byte, size)} }
+
+// Size returns the image size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.b)) }
+
+// Bytes exposes the underlying image (for loaders and result extraction).
+func (m *Memory) Bytes() []byte { return m.b }
+
+func (m *Memory) in(addr uint32, n uint32) bool {
+	return uint64(addr)+uint64(n) <= uint64(len(m.b))
+}
+
+// LoadU8 reads a byte. ok is false on an out-of-range access.
+func (m *Memory) LoadU8(addr uint32) (uint8, bool) {
+	if !m.in(addr, 1) {
+		return 0, false
+	}
+	return m.b[addr], true
+}
+
+// LoadU16 reads a little-endian 16-bit value.
+func (m *Memory) LoadU16(addr uint32) (uint16, bool) {
+	if !m.in(addr, 2) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(m.b[addr:]), true
+}
+
+// LoadU32 reads a little-endian 32-bit value.
+func (m *Memory) LoadU32(addr uint32) (uint32, bool) {
+	if !m.in(addr, 4) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(m.b[addr:]), true
+}
+
+// LoadU64 reads a little-endian 64-bit value.
+func (m *Memory) LoadU64(addr uint32) (uint64, bool) {
+	if !m.in(addr, 8) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(m.b[addr:]), true
+}
+
+// StoreU8 writes a byte.
+func (m *Memory) StoreU8(addr uint32, v uint8) bool {
+	if !m.in(addr, 1) {
+		return false
+	}
+	m.b[addr] = v
+	return true
+}
+
+// StoreU16 writes a little-endian 16-bit value.
+func (m *Memory) StoreU16(addr uint32, v uint16) bool {
+	if !m.in(addr, 2) {
+		return false
+	}
+	binary.LittleEndian.PutUint16(m.b[addr:], v)
+	return true
+}
+
+// StoreU32 writes a little-endian 32-bit value.
+func (m *Memory) StoreU32(addr uint32, v uint32) bool {
+	if !m.in(addr, 4) {
+		return false
+	}
+	binary.LittleEndian.PutUint32(m.b[addr:], v)
+	return true
+}
+
+// StoreU64 writes a little-endian 64-bit value.
+func (m *Memory) StoreU64(addr uint32, v uint64) bool {
+	if !m.in(addr, 8) {
+		return false
+	}
+	binary.LittleEndian.PutUint64(m.b[addr:], v)
+	return true
+}
+
+// WriteInt16s copies a []int16 into memory at addr (little-endian).
+func (m *Memory) WriteInt16s(addr uint32, v []int16) bool {
+	if !m.in(addr, uint32(2*len(v))) {
+		return false
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint16(m.b[addr+uint32(2*i):], uint16(x))
+	}
+	return true
+}
+
+// ReadInt16s copies n int16 values out of memory at addr.
+func (m *Memory) ReadInt16s(addr uint32, n int) ([]int16, bool) {
+	if !m.in(addr, uint32(2*n)) {
+		return nil, false
+	}
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(m.b[addr+uint32(2*i):]))
+	}
+	return out, true
+}
+
+// WriteInt32s copies a []int32 into memory at addr.
+func (m *Memory) WriteInt32s(addr uint32, v []int32) bool {
+	if !m.in(addr, uint32(4*len(v))) {
+		return false
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(m.b[addr+uint32(4*i):], uint32(x))
+	}
+	return true
+}
+
+// ReadInt32s copies n int32 values out of memory at addr.
+func (m *Memory) ReadInt32s(addr uint32, n int) ([]int32, bool) {
+	if !m.in(addr, uint32(4*n)) {
+		return nil, false
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(m.b[addr+uint32(4*i):]))
+	}
+	return out, true
+}
+
+// WriteBytes copies raw bytes into memory at addr.
+func (m *Memory) WriteBytes(addr uint32, v []byte) bool {
+	if !m.in(addr, uint32(len(v))) {
+		return false
+	}
+	copy(m.b[addr:], v)
+	return true
+}
+
+// ReadBytes copies n raw bytes out of memory at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, bool) {
+	if !m.in(addr, uint32(n)) {
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, m.b[addr:])
+	return out, true
+}

@@ -1,0 +1,433 @@
+// Package mmx implements the value semantics of the MMX instruction set:
+// 64-bit packed registers holding eight bytes, four words, two doublewords
+// or one quadword, with wrap-around and saturating arithmetic, packed
+// multiplies (pmullw/pmulhw/pmaddwd), pack/unpack, compares, logicals and
+// shifts.
+//
+// The package is pure value arithmetic: a Reg is just a uint64 and every
+// operation is a function from Regs to a Reg. The virtual machine
+// (internal/vm) dispatches MMX opcodes into this package, and the MMX
+// library routines are tested against these semantics directly.
+package mmx
+
+import "mmxdsp/internal/fixed"
+
+// Reg is a 64-bit MMX register value. Lane 0 is the least-significant lane,
+// matching the little-endian layout of the x86 memory image.
+type Reg uint64
+
+// FromBytes packs eight bytes into a register, b[0] in the low lane.
+func FromBytes(b [8]uint8) Reg {
+	var r Reg
+	for i := 7; i >= 0; i-- {
+		r = r<<8 | Reg(b[i])
+	}
+	return r
+}
+
+// Bytes unpacks the register into eight unsigned bytes.
+func (r Reg) Bytes() [8]uint8 {
+	var b [8]uint8
+	for i := range b {
+		b[i] = uint8(r >> (8 * uint(i)))
+	}
+	return b
+}
+
+// FromWords packs four signed 16-bit words, w[0] in the low lane.
+func FromWords(w [4]int16) Reg {
+	var r Reg
+	for i := 3; i >= 0; i-- {
+		r = r<<16 | Reg(uint16(w[i]))
+	}
+	return r
+}
+
+// Words unpacks the register into four signed 16-bit words.
+func (r Reg) Words() [4]int16 {
+	var w [4]int16
+	for i := range w {
+		w[i] = int16(r >> (16 * uint(i)))
+	}
+	return w
+}
+
+// FromDwords packs two signed 32-bit doublewords, d[0] in the low lane.
+func FromDwords(d [2]int32) Reg {
+	return Reg(uint32(d[0])) | Reg(uint32(d[1]))<<32
+}
+
+// Dwords unpacks the register into two signed 32-bit doublewords.
+func (r Reg) Dwords() [2]int32 {
+	return [2]int32{int32(uint32(r)), int32(uint32(r >> 32))}
+}
+
+// SignedBytes unpacks the register into eight signed bytes.
+func (r Reg) SignedBytes() [8]int8 {
+	var b [8]int8
+	for i := range b {
+		b[i] = int8(r >> (8 * uint(i)))
+	}
+	return b
+}
+
+// FromSignedBytes packs eight signed bytes, b[0] in the low lane.
+func FromSignedBytes(b [8]int8) Reg {
+	var r Reg
+	for i := 7; i >= 0; i-- {
+		r = r<<8 | Reg(uint8(b[i]))
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Wrap-around packed add/subtract (paddb/paddw/paddd, psubb/psubw/psubd)
+
+func mapB(a, b Reg, f func(x, y uint8) uint8) Reg {
+	ab, bb := a.Bytes(), b.Bytes()
+	var out [8]uint8
+	for i := range out {
+		out[i] = f(ab[i], bb[i])
+	}
+	return FromBytes(out)
+}
+
+func mapW(a, b Reg, f func(x, y int16) int16) Reg {
+	aw, bw := a.Words(), b.Words()
+	var out [4]int16
+	for i := range out {
+		out[i] = f(aw[i], bw[i])
+	}
+	return FromWords(out)
+}
+
+func mapD(a, b Reg, f func(x, y int32) int32) Reg {
+	ad, bd := a.Dwords(), b.Dwords()
+	return FromDwords([2]int32{f(ad[0], bd[0]), f(ad[1], bd[1])})
+}
+
+// PAddB adds packed bytes with wrap-around.
+func PAddB(a, b Reg) Reg { return mapB(a, b, func(x, y uint8) uint8 { return x + y }) }
+
+// PAddW adds packed words with wrap-around.
+func PAddW(a, b Reg) Reg { return mapW(a, b, func(x, y int16) int16 { return x + y }) }
+
+// PAddD adds packed doublewords with wrap-around.
+func PAddD(a, b Reg) Reg { return mapD(a, b, func(x, y int32) int32 { return x + y }) }
+
+// PSubB subtracts packed bytes with wrap-around.
+func PSubB(a, b Reg) Reg { return mapB(a, b, func(x, y uint8) uint8 { return x - y }) }
+
+// PSubW subtracts packed words with wrap-around.
+func PSubW(a, b Reg) Reg { return mapW(a, b, func(x, y int16) int16 { return x - y }) }
+
+// PSubD subtracts packed doublewords with wrap-around.
+func PSubD(a, b Reg) Reg { return mapD(a, b, func(x, y int32) int32 { return x - y }) }
+
+// ---------------------------------------------------------------------------
+// Saturating packed add/subtract
+
+// PAddSB adds packed signed bytes with signed saturation.
+func PAddSB(a, b Reg) Reg {
+	return mapB(a, b, func(x, y uint8) uint8 {
+		return uint8(fixed.SatB(int32(int8(x)) + int32(int8(y))))
+	})
+}
+
+// PAddSW adds packed signed words with signed saturation.
+func PAddSW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 { return fixed.SatW(int32(x) + int32(y)) })
+}
+
+// PAddUSB adds packed unsigned bytes with unsigned saturation.
+func PAddUSB(a, b Reg) Reg {
+	return mapB(a, b, func(x, y uint8) uint8 { return fixed.SatUB(int32(x) + int32(y)) })
+}
+
+// PAddUSW adds packed unsigned words with unsigned saturation.
+func PAddUSW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 {
+		return int16(fixed.SatUW(int32(uint16(x)) + int32(uint16(y))))
+	})
+}
+
+// PSubSB subtracts packed signed bytes with signed saturation.
+func PSubSB(a, b Reg) Reg {
+	return mapB(a, b, func(x, y uint8) uint8 {
+		return uint8(fixed.SatB(int32(int8(x)) - int32(int8(y))))
+	})
+}
+
+// PSubSW subtracts packed signed words with signed saturation.
+func PSubSW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 { return fixed.SatW(int32(x) - int32(y)) })
+}
+
+// PSubUSB subtracts packed unsigned bytes with unsigned saturation.
+func PSubUSB(a, b Reg) Reg {
+	return mapB(a, b, func(x, y uint8) uint8 { return fixed.SatUB(int32(x) - int32(y)) })
+}
+
+// PSubUSW subtracts packed unsigned words with unsigned saturation.
+func PSubUSW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 {
+		return int16(fixed.SatUW(int32(uint16(x)) - int32(uint16(y))))
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Packed multiplies
+
+// PMulLW multiplies packed signed words and keeps the low 16 bits of each
+// 32-bit product.
+func PMulLW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 { return int16(int32(x) * int32(y)) })
+}
+
+// PMulHW multiplies packed signed words and keeps the high 16 bits of each
+// 32-bit product.
+func PMulHW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 { return int16((int32(x) * int32(y)) >> 16) })
+}
+
+// PMAddWD multiplies packed signed words and adds adjacent 32-bit products:
+// out.lo = a0*b0 + a1*b1, out.hi = a2*b2 + a3*b3. This is the MMX
+// multiply-accumulate primitive that gives matvec its superlinear speedup.
+func PMAddWD(a, b Reg) Reg {
+	aw, bw := a.Words(), b.Words()
+	lo := int32(aw[0])*int32(bw[0]) + int32(aw[1])*int32(bw[1])
+	hi := int32(aw[2])*int32(bw[2]) + int32(aw[3])*int32(bw[3])
+	return FromDwords([2]int32{lo, hi})
+}
+
+// ---------------------------------------------------------------------------
+// Pack with saturation
+
+// PackSSWB packs the four words of a (low lanes) and b (high lanes) into
+// eight signed-saturated bytes.
+func PackSSWB(a, b Reg) Reg {
+	aw, bw := a.Words(), b.Words()
+	var out [8]uint8
+	for i := 0; i < 4; i++ {
+		out[i] = uint8(fixed.SatB(int32(aw[i])))
+		out[i+4] = uint8(fixed.SatB(int32(bw[i])))
+	}
+	return FromBytes(out)
+}
+
+// PackSSDW packs the two dwords of a (low lanes) and b (high lanes) into
+// four signed-saturated words.
+func PackSSDW(a, b Reg) Reg {
+	ad, bd := a.Dwords(), b.Dwords()
+	return FromWords([4]int16{
+		fixed.SatW(ad[0]), fixed.SatW(ad[1]),
+		fixed.SatW(bd[0]), fixed.SatW(bd[1]),
+	})
+}
+
+// PackUSWB packs the four words of a (low lanes) and b (high lanes) into
+// eight unsigned-saturated bytes.
+func PackUSWB(a, b Reg) Reg {
+	aw, bw := a.Words(), b.Words()
+	var out [8]uint8
+	for i := 0; i < 4; i++ {
+		out[i] = fixed.SatUB(int32(aw[i]))
+		out[i+4] = fixed.SatUB(int32(bw[i]))
+	}
+	return FromBytes(out)
+}
+
+// ---------------------------------------------------------------------------
+// Unpack (interleave)
+
+// PUnpckLBW interleaves the low four bytes of a and b:
+// out = b3 a3 b2 a2 b1 a1 b0 a0 (high..low).
+func PUnpckLBW(a, b Reg) Reg {
+	ab, bb := a.Bytes(), b.Bytes()
+	var out [8]uint8
+	for i := 0; i < 4; i++ {
+		out[2*i] = ab[i]
+		out[2*i+1] = bb[i]
+	}
+	return FromBytes(out)
+}
+
+// PUnpckHBW interleaves the high four bytes of a and b.
+func PUnpckHBW(a, b Reg) Reg {
+	ab, bb := a.Bytes(), b.Bytes()
+	var out [8]uint8
+	for i := 0; i < 4; i++ {
+		out[2*i] = ab[i+4]
+		out[2*i+1] = bb[i+4]
+	}
+	return FromBytes(out)
+}
+
+// PUnpckLWD interleaves the low two words of a and b.
+func PUnpckLWD(a, b Reg) Reg {
+	aw, bw := a.Words(), b.Words()
+	return FromWords([4]int16{aw[0], bw[0], aw[1], bw[1]})
+}
+
+// PUnpckHWD interleaves the high two words of a and b.
+func PUnpckHWD(a, b Reg) Reg {
+	aw, bw := a.Words(), b.Words()
+	return FromWords([4]int16{aw[2], bw[2], aw[3], bw[3]})
+}
+
+// PUnpckLDQ interleaves the low dwords of a and b.
+func PUnpckLDQ(a, b Reg) Reg {
+	ad, bd := a.Dwords(), b.Dwords()
+	return FromDwords([2]int32{ad[0], bd[0]})
+}
+
+// PUnpckHDQ interleaves the high dwords of a and b.
+func PUnpckHDQ(a, b Reg) Reg {
+	ad, bd := a.Dwords(), b.Dwords()
+	return FromDwords([2]int32{ad[1], bd[1]})
+}
+
+// ---------------------------------------------------------------------------
+// Packed compares (result lanes are all-ones or all-zeros)
+
+// PCmpEqB compares packed bytes for equality.
+func PCmpEqB(a, b Reg) Reg {
+	return mapB(a, b, func(x, y uint8) uint8 {
+		if x == y {
+			return 0xFF
+		}
+		return 0
+	})
+}
+
+// PCmpEqW compares packed words for equality.
+func PCmpEqW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 {
+		if x == y {
+			return -1
+		}
+		return 0
+	})
+}
+
+// PCmpEqD compares packed doublewords for equality.
+func PCmpEqD(a, b Reg) Reg {
+	return mapD(a, b, func(x, y int32) int32 {
+		if x == y {
+			return -1
+		}
+		return 0
+	})
+}
+
+// PCmpGtB compares packed signed bytes for a > b.
+func PCmpGtB(a, b Reg) Reg {
+	return mapB(a, b, func(x, y uint8) uint8 {
+		if int8(x) > int8(y) {
+			return 0xFF
+		}
+		return 0
+	})
+}
+
+// PCmpGtW compares packed signed words for a > b.
+func PCmpGtW(a, b Reg) Reg {
+	return mapW(a, b, func(x, y int16) int16 {
+		if x > y {
+			return -1
+		}
+		return 0
+	})
+}
+
+// PCmpGtD compares packed signed doublewords for a > b.
+func PCmpGtD(a, b Reg) Reg {
+	return mapD(a, b, func(x, y int32) int32 {
+		if x > y {
+			return -1
+		}
+		return 0
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Logicals
+
+// PAnd returns a & b.
+func PAnd(a, b Reg) Reg { return a & b }
+
+// PAndN returns ^a & b (MMX pandn: NOT of the destination ANDed with source).
+func PAndN(a, b Reg) Reg { return ^a & b }
+
+// POr returns a | b.
+func POr(a, b Reg) Reg { return a | b }
+
+// PXor returns a ^ b.
+func PXor(a, b Reg) Reg { return a ^ b }
+
+// ---------------------------------------------------------------------------
+// Shifts. Counts >= the lane width zero (or sign-) fill, as on hardware.
+
+// PSllW shifts packed words left.
+func PSllW(a Reg, n uint) Reg {
+	if n > 15 {
+		return 0
+	}
+	return mapW(a, 0, func(x, _ int16) int16 { return int16(uint16(x) << n) })
+}
+
+// PSllD shifts packed doublewords left.
+func PSllD(a Reg, n uint) Reg {
+	if n > 31 {
+		return 0
+	}
+	return mapD(a, 0, func(x, _ int32) int32 { return int32(uint32(x) << n) })
+}
+
+// PSllQ shifts the quadword left.
+func PSllQ(a Reg, n uint) Reg {
+	if n > 63 {
+		return 0
+	}
+	return a << n
+}
+
+// PSrlW shifts packed words right, zero filling.
+func PSrlW(a Reg, n uint) Reg {
+	if n > 15 {
+		return 0
+	}
+	return mapW(a, 0, func(x, _ int16) int16 { return int16(uint16(x) >> n) })
+}
+
+// PSrlD shifts packed doublewords right, zero filling.
+func PSrlD(a Reg, n uint) Reg {
+	if n > 31 {
+		return 0
+	}
+	return mapD(a, 0, func(x, _ int32) int32 { return int32(uint32(x) >> n) })
+}
+
+// PSrlQ shifts the quadword right, zero filling.
+func PSrlQ(a Reg, n uint) Reg {
+	if n > 63 {
+		return 0
+	}
+	return a >> n
+}
+
+// PSraW shifts packed words right arithmetically (sign filling).
+func PSraW(a Reg, n uint) Reg {
+	if n > 15 {
+		n = 15
+	}
+	return mapW(a, 0, func(x, _ int16) int16 { return x >> n })
+}
+
+// PSraD shifts packed doublewords right arithmetically (sign filling).
+func PSraD(a Reg, n uint) Reg {
+	if n > 31 {
+		n = 31
+	}
+	return mapD(a, 0, func(x, _ int32) int32 { return x >> n })
+}

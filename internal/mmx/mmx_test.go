@@ -1,0 +1,356 @@
+package mmx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmxdsp/internal/fixed"
+)
+
+func TestPackUnpackRoundTrips(t *testing.T) {
+	f := func(r uint64) bool {
+		reg := Reg(r)
+		if FromBytes(reg.Bytes()) != reg {
+			return false
+		}
+		if FromWords(reg.Words()) != reg {
+			return false
+		}
+		if FromDwords(reg.Dwords()) != reg {
+			return false
+		}
+		return FromSignedBytes(reg.SignedBytes()) == reg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaneOrder(t *testing.T) {
+	r := FromWords([4]int16{1, 2, 3, 4})
+	if uint64(r) != 0x0004_0003_0002_0001 {
+		t.Fatalf("lane order wrong: %#016x", uint64(r))
+	}
+	b := FromBytes([8]uint8{1, 2, 3, 4, 5, 6, 7, 8})
+	if uint64(b) != 0x0807060504030201 {
+		t.Fatalf("byte lane order wrong: %#016x", uint64(b))
+	}
+}
+
+func TestPAddWWraps(t *testing.T) {
+	a := FromWords([4]int16{32767, -32768, 100, -100})
+	b := FromWords([4]int16{1, -1, 28, -28})
+	got := PAddW(a, b).Words()
+	want := [4]int16{-32768, 32767, 128, -128}
+	if got != want {
+		t.Errorf("PAddW = %v, want %v", got, want)
+	}
+}
+
+func TestPAddSWSaturates(t *testing.T) {
+	a := FromWords([4]int16{32767, -32768, 16000, -16000})
+	b := FromWords([4]int16{1, -1, 17000, -17000})
+	got := PAddSW(a, b).Words()
+	want := [4]int16{32767, -32768, 32767, -32768}
+	if got != want {
+		t.Errorf("PAddSW = %v, want %v", got, want)
+	}
+}
+
+func TestPAddUSBSaturates(t *testing.T) {
+	a := FromBytes([8]uint8{255, 200, 0, 1, 2, 3, 4, 5})
+	b := FromBytes([8]uint8{1, 100, 0, 1, 2, 3, 4, 5})
+	got := PAddUSB(a, b).Bytes()
+	want := [8]uint8{255, 255, 0, 2, 4, 6, 8, 10}
+	if got != want {
+		t.Errorf("PAddUSB = %v, want %v", got, want)
+	}
+}
+
+func TestPSubUSBFloorsAtZero(t *testing.T) {
+	a := FromBytes([8]uint8{0, 5, 100, 255, 1, 2, 3, 4})
+	b := FromBytes([8]uint8{1, 10, 50, 255, 0, 1, 2, 3})
+	got := PSubUSB(a, b).Bytes()
+	want := [8]uint8{0, 0, 50, 0, 1, 1, 1, 1}
+	if got != want {
+		t.Errorf("PSubUSB = %v, want %v", got, want)
+	}
+}
+
+func TestSaturatingMatchesScalarSat(t *testing.T) {
+	// Property: every lane of PAddSW equals the scalar saturating add.
+	f := func(x, y uint64) bool {
+		a, b := Reg(x), Reg(y)
+		got := PAddSW(a, b).Words()
+		aw, bw := a.Words(), b.Words()
+		for i := 0; i < 4; i++ {
+			if got[i] != fixed.SatW(int32(aw[i])+int32(bw[i])) {
+				return false
+			}
+		}
+		sub := PSubSW(a, b).Words()
+		for i := 0; i < 4; i++ {
+			if sub[i] != fixed.SatW(int32(aw[i])-int32(bw[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapAddSubInverse(t *testing.T) {
+	// Property: wrap-around subtract undoes wrap-around add (group structure).
+	f := func(x, y uint64) bool {
+		a, b := Reg(x), Reg(y)
+		return PSubB(PAddB(a, b), b) == a &&
+			PSubW(PAddW(a, b), b) == a &&
+			PSubD(PAddD(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMulLWHWConsistent(t *testing.T) {
+	// Property: (PMulHW << 16) | PMulLW reconstructs the full 32-bit product.
+	f := func(x, y uint64) bool {
+		a, b := Reg(x), Reg(y)
+		lo, hi := PMulLW(a, b).Words(), PMulHW(a, b).Words()
+		aw, bw := a.Words(), b.Words()
+		for i := 0; i < 4; i++ {
+			full := int32(aw[i]) * int32(bw[i])
+			recon := int32(hi[i])<<16 | int32(uint16(lo[i]))
+			if full != recon {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMAddWD(t *testing.T) {
+	a := FromWords([4]int16{1, 2, 3, 4})
+	b := FromWords([4]int16{5, 6, 7, 8})
+	got := PMAddWD(a, b).Dwords()
+	if got[0] != 1*5+2*6 || got[1] != 3*7+4*8 {
+		t.Errorf("PMAddWD = %v, want [17 53]", got)
+	}
+}
+
+func TestPMAddWDMatchesScalar(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reg(x), Reg(y)
+		aw, bw := a.Words(), b.Words()
+		got := PMAddWD(a, b).Dwords()
+		return got[0] == int32(aw[0])*int32(bw[0])+int32(aw[1])*int32(bw[1]) &&
+			got[1] == int32(aw[2])*int32(bw[2])+int32(aw[3])*int32(bw[3])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackSSWB(t *testing.T) {
+	a := FromWords([4]int16{-200, 127, -128, 300})
+	b := FromWords([4]int16{0, 1, -1, 1000})
+	got := PackSSWB(a, b).SignedBytes()
+	want := [8]int8{-128, 127, -128, 127, 0, 1, -1, 127}
+	if got != want {
+		t.Errorf("PackSSWB = %v, want %v", got, want)
+	}
+}
+
+func TestPackUSWB(t *testing.T) {
+	a := FromWords([4]int16{-5, 256, 255, 128})
+	b := FromWords([4]int16{0, 1, 1000, -1})
+	got := PackUSWB(a, b).Bytes()
+	want := [8]uint8{0, 255, 255, 128, 0, 1, 255, 0}
+	if got != want {
+		t.Errorf("PackUSWB = %v, want %v", got, want)
+	}
+}
+
+func TestPackSSDW(t *testing.T) {
+	a := FromDwords([2]int32{70000, -70000})
+	b := FromDwords([2]int32{42, -42})
+	got := PackSSDW(a, b).Words()
+	want := [4]int16{32767, -32768, 42, -42}
+	if got != want {
+		t.Errorf("PackSSDW = %v, want %v", got, want)
+	}
+}
+
+func TestUnpackInterleave(t *testing.T) {
+	a := FromBytes([8]uint8{0, 1, 2, 3, 4, 5, 6, 7})
+	b := FromBytes([8]uint8{10, 11, 12, 13, 14, 15, 16, 17})
+	lo := PUnpckLBW(a, b).Bytes()
+	wantLo := [8]uint8{0, 10, 1, 11, 2, 12, 3, 13}
+	if lo != wantLo {
+		t.Errorf("PUnpckLBW = %v, want %v", lo, wantLo)
+	}
+	hi := PUnpckHBW(a, b).Bytes()
+	wantHi := [8]uint8{4, 14, 5, 15, 6, 16, 7, 17}
+	if hi != wantHi {
+		t.Errorf("PUnpckHBW = %v, want %v", hi, wantHi)
+	}
+}
+
+func TestUnpackWordsAndDwords(t *testing.T) {
+	a := FromWords([4]int16{0, 1, 2, 3})
+	b := FromWords([4]int16{10, 11, 12, 13})
+	if got := PUnpckLWD(a, b).Words(); got != [4]int16{0, 10, 1, 11} {
+		t.Errorf("PUnpckLWD = %v", got)
+	}
+	if got := PUnpckHWD(a, b).Words(); got != [4]int16{2, 12, 3, 13} {
+		t.Errorf("PUnpckHWD = %v", got)
+	}
+	c := FromDwords([2]int32{100, 200})
+	d := FromDwords([2]int32{300, 400})
+	if got := PUnpckLDQ(c, d).Dwords(); got != [2]int32{100, 300} {
+		t.Errorf("PUnpckLDQ = %v", got)
+	}
+	if got := PUnpckHDQ(c, d).Dwords(); got != [2]int32{200, 400} {
+		t.Errorf("PUnpckHDQ = %v", got)
+	}
+}
+
+func TestZeroExtendViaUnpack(t *testing.T) {
+	// The classic MMX idiom: unpacking with zero widens unsigned bytes to words.
+	f := func(x uint64) bool {
+		a := Reg(x)
+		ab := a.Bytes()
+		w := PUnpckLBW(a, 0).Words()
+		for i := 0; i < 4; i++ {
+			if w[i] != int16(ab[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackRoundTripWords(t *testing.T) {
+	// Property: words in [-128,127] survive PackSSWB → PUnpck(L/H)BW with sign
+	// extension via the compare-gt trick.
+	f := func(w0, w1, w2, w3 int8) bool {
+		a := FromWords([4]int16{int16(w0), int16(w1), int16(w2), int16(w3)})
+		packed := PackSSWB(a, a)
+		// sign mask: 0xFF where byte < 0
+		sign := PCmpGtB(0, packed)
+		lo := PUnpckLBW(packed, sign).Words()
+		return lo == a.Words()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompares(t *testing.T) {
+	a := FromWords([4]int16{1, -1, 5, 5})
+	b := FromWords([4]int16{0, 0, 5, 6})
+	if got := PCmpGtW(a, b).Words(); got != [4]int16{-1, 0, 0, 0} {
+		t.Errorf("PCmpGtW = %v", got)
+	}
+	if got := PCmpEqW(a, b).Words(); got != [4]int16{0, 0, -1, 0} {
+		t.Errorf("PCmpEqW = %v", got)
+	}
+	c := FromDwords([2]int32{7, -7})
+	d := FromDwords([2]int32{7, 7})
+	if got := PCmpEqD(c, d).Dwords(); got != [2]int32{-1, 0} {
+		t.Errorf("PCmpEqD = %v", got)
+	}
+	if got := PCmpGtD(d, c).Dwords(); got != [2]int32{0, -1} {
+		t.Errorf("PCmpGtD = %v", got)
+	}
+	e := FromSignedBytes([8]int8{1, -1, 0, 0, 0, 0, 0, 0})
+	g := FromSignedBytes([8]int8{0, 0, 0, 0, 0, 0, 0, 0})
+	if got := PCmpGtB(e, g).SignedBytes(); got[0] != -1 || got[1] != 0 {
+		t.Errorf("PCmpGtB = %v", got)
+	}
+	if got := PCmpEqB(e, g).SignedBytes(); got[0] != 0 || got[2] != -1 {
+		t.Errorf("PCmpEqB = %v", got)
+	}
+}
+
+func TestLogicals(t *testing.T) {
+	a, b := Reg(0xF0F0_F0F0_F0F0_F0F0), Reg(0xFF00_FF00_FF00_FF00)
+	if PAnd(a, b) != 0xF000F000F000F000 {
+		t.Error("PAnd wrong")
+	}
+	if POr(a, b) != 0xFFF0FFF0FFF0FFF0 {
+		t.Error("POr wrong")
+	}
+	if PXor(a, b) != 0x0FF00FF00FF00FF0 {
+		t.Error("PXor wrong")
+	}
+	if PAndN(a, b) != 0x0F000F000F000F00 {
+		t.Error("PAndN wrong")
+	}
+}
+
+func TestShiftWords(t *testing.T) {
+	a := FromWords([4]int16{1, -2, 0x4000, -32768})
+	if got := PSllW(a, 1).Words(); got != [4]int16{2, -4, -32768, 0} {
+		t.Errorf("PSllW = %v", got)
+	}
+	if got := PSraW(a, 1).Words(); got != [4]int16{0, -1, 0x2000, -16384} {
+		t.Errorf("PSraW = %v", got)
+	}
+	if got := PSrlW(FromWords([4]int16{-1, 2, 4, 8}), 1).Words(); got != [4]int16{32767, 1, 2, 4} {
+		t.Errorf("PSrlW = %v", got)
+	}
+}
+
+func TestShiftOverwidth(t *testing.T) {
+	a := Reg(0xFFFF_FFFF_FFFF_FFFF)
+	if PSllW(a, 16) != 0 || PSrlW(a, 16) != 0 {
+		t.Error("word shifts >= 16 must zero")
+	}
+	if PSllD(a, 32) != 0 || PSrlD(a, 32) != 0 {
+		t.Error("dword shifts >= 32 must zero")
+	}
+	if PSllQ(a, 64) != 0 || PSrlQ(a, 64) != 0 {
+		t.Error("qword shifts >= 64 must zero")
+	}
+	// Arithmetic right shift saturates at width-1 (fills with sign).
+	neg := FromWords([4]int16{-1, -1, -1, -1})
+	if PSraW(neg, 40) != neg {
+		t.Error("PSraW overwidth must fill with sign")
+	}
+	negd := FromDwords([2]int32{-1, -1})
+	if PSraD(negd, 99) != negd {
+		t.Error("PSraD overwidth must fill with sign")
+	}
+}
+
+func TestShiftQIsPlainShift(t *testing.T) {
+	f := func(x uint64, nRaw uint8) bool {
+		n := uint(nRaw % 64)
+		return PSllQ(Reg(x), n) == Reg(x<<n) && PSrlQ(Reg(x), n) == Reg(x>>n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftDword(t *testing.T) {
+	a := FromDwords([2]int32{-8, 8})
+	if got := PSraD(a, 2).Dwords(); got != [2]int32{-2, 2} {
+		t.Errorf("PSraD = %v", got)
+	}
+	if got := PSllD(a, 2).Dwords(); got != [2]int32{-32, 32} {
+		t.Errorf("PSllD = %v", got)
+	}
+	if got := PSrlD(FromDwords([2]int32{-1, 4}), 1).Dwords(); got != [2]int32{0x7FFFFFFF, 2} {
+		t.Errorf("PSrlD = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package mmxlib
+
+import (
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/synth"
+)
+
+// reference2D applies two Q13 passes (rows then columns) exactly like the
+// 16-call nsDct8 path.
+func reference2D(in []int16) []int16 {
+	var tmp [64]int16
+	var vin, vout [8]int16
+	for r := 0; r < 8; r++ {
+		copy(vin[:], in[8*r:8*r+8])
+		dsp.DCT1D8Q15(vout[:], vin[:])
+		copy(tmp[8*r:8*r+8], vout[:])
+	}
+	out := make([]int16, 64)
+	for c := 0; c < 8; c++ {
+		for n := 0; n < 8; n++ {
+			vin[n] = tmp[8*n+c]
+		}
+		dsp.DCT1D8Q15(vout[:], vin[:])
+		for n := 0; n < 8; n++ {
+			out[8*n+c] = vout[n]
+		}
+	}
+	return out
+}
+
+func TestNsDct2DMatchesSixteenCallPath(t *testing.T) {
+	r := synth.NewRand(0xD2D)
+	in := make([]int16, 64)
+	for i := range in {
+		in[i] = int16(r.Intn(256) - 128) // level-shifted pixel range
+	}
+	b := asm.NewBuilder("t")
+	EmitDct2D(b)
+	Dct2DScratch(b)
+	b.Words("in", in)
+	b.Words("basis", DCTBasisQuads())
+	b.Words("tmp", make([]int16, 64))
+	b.Reserve("out", 128)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "nsDct2D", asm.ImmSym("in", 0), asm.ImmSym("out", 0),
+		asm.ImmSym("basis", 0), asm.ImmSym("tmp", 0))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), 64)
+	want := reference2D(in)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coef %d: vm %d, ref %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNsDct2DConstantBlock(t *testing.T) {
+	in := make([]int16, 64)
+	for i := range in {
+		in[i] = 100
+	}
+	b := asm.NewBuilder("t")
+	EmitDct2D(b)
+	Dct2DScratch(b)
+	b.Words("in", in)
+	b.Words("basis", DCTBasisQuads())
+	b.Words("tmp", make([]int16, 64))
+	b.Reserve("out", 128)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "nsDct2D", asm.ImmSym("in", 0), asm.ImmSym("out", 0),
+		asm.ImmSym("basis", 0), asm.ImmSym("tmp", 0))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), 64)
+	// 2-D orthonormal DC of a flat block of 100 is 800; AC terms ~0.
+	if got[0] < 790 || got[0] > 810 {
+		t.Errorf("DC = %d, want ~800", got[0])
+	}
+	for i := 1; i < 64; i++ {
+		if got[i] > 2 || got[i] < -2 {
+			t.Errorf("AC[%d] = %d, want ~0", i, got[i])
+		}
+	}
+}

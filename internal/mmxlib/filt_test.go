@@ -1,0 +1,126 @@
+package mmxlib
+
+import (
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/fixed"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/synth"
+)
+
+func TestNsFirMatchesFIRQ15(t *testing.T) {
+	const taps = 35
+	const padded = 36
+	const samples = 100
+	coef := fixed.VecToQ15(dsp.LowpassFIR(taps, 0.125))
+	coefPad := make([]int16, padded)
+	copy(coefPad, coef)
+	input := synth.ToQ15(synth.MultiTone(samples, 11, 0.06, 0.3))
+
+	b := asm.NewBuilder("t")
+	EmitFirQ15(b)
+	b.Words("coef", coefPad)
+	b.Words("hist", make([]int16, padded))
+	b.Words("in", input)
+	b.Reserve("out", 2*samples)
+	b.Entry()
+	b.Proc("main")
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0))
+	b.Label("s")
+	b.I(isa.MOVSXW, asm.R(isa.EAX), asm.SymIdx(isa.SizeW, "in", isa.EBP, 2, 0))
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	emit.Call(b, "nsFir", asm.ImmSym("hist", 0), asm.ImmSym("coef", 0),
+		asm.Imm(padded), asm.R(isa.EAX))
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.SymIdx(isa.SizeW, "out", isa.EBP, 2, 0), asm.R(isa.EAX))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.Imm(samples))
+	b.J(isa.JL, "s")
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), samples)
+	ref := dsp.NewFIRQ15(coefPad)
+	for i, x := range input {
+		want := ref.Process(x)
+		if got[i] != want {
+			t.Fatalf("sample %d: vm %d, ref %d", i, got[i], want)
+		}
+	}
+}
+
+// buildIirState lays out the nsIir state block and returns the padded
+// coefficient slices it placed.
+func buildIirState(b *asm.Builder, q *dsp.IIRQ15) {
+	bq, aq := q.Coefs()
+	nb := (len(bq) + 3) &^ 3
+	na := (len(aq) + 3) &^ 3
+	bPad := make([]int16, nb)
+	copy(bPad, bq)
+	aPad := make([]int16, na)
+	copy(aPad, aq)
+	b.Dwords("iirstate", []int32{int32(nb), int32(na), int32(q.FracBits()),
+		int32(1) << (q.FracBits() - 1)})
+	b.Words("iirstate.b", bPad)
+	b.Words("iirstate.a", aPad)
+	b.Words("iirstate.xh", make([]int16, nb))
+	b.Words("iirstate.yh", make([]int16, na))
+}
+
+func TestNsIirMatchesIIRQ15(t *testing.T) {
+	bc, ac := dsp.ButterworthBandpass(4, 0.1, 0.2)
+	ref := dsp.NewIIRQ15(bc, ac)
+	state := dsp.NewIIRQ15(bc, ac)
+	_ = state
+
+	const blocks = 8
+	const blockLen = 8
+	input := synth.ToQ15(scale(synth.MultiTone(blocks*blockLen, 13, 0.14, 0.16), 0.25))
+
+	b := asm.NewBuilder("t")
+	EmitIirBlockQ15(b)
+	buildIirState(b, ref)
+	b.Words("in", input)
+	b.Reserve("out", 2*len(input))
+	b.Entry()
+	b.Proc("main")
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0))
+	b.Label("blk")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBP))
+	b.I(isa.SHL, asm.R(isa.EAX), asm.Imm(4)) // blockLen*2 bytes
+	b.I(isa.MOV, asm.R(isa.EBX), asm.ImmSym("in", 0))
+	b.I(isa.ADD, asm.R(isa.EBX), asm.R(isa.EAX))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.ImmSym("out", 0))
+	b.I(isa.ADD, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	emit.Call(b, "nsIir", asm.ImmSym("iirstate", 0), asm.R(isa.EBX),
+		asm.R(isa.ECX), asm.Imm(blockLen))
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.Imm(blocks))
+	b.J(isa.JL, "blk")
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), len(input))
+	fresh := dsp.NewIIRQ15(bc, ac)
+	for i, x := range input {
+		want := fresh.Process(x)
+		if got[i] != want {
+			t.Fatalf("sample %d: vm %d, ref %d", i, got[i], want)
+		}
+	}
+}
+
+func scale(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * s
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package mmxlib
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+)
+
+// EmitImgScale8 emits nsImgScale8(dst, src, n, scaleQ8): scale unsigned
+// bytes by scaleQ8/256 (scaleQ8 in [0, 255]), 8 pixels per iteration —
+// the image benchmark's dimming pass. The bytes unpack to words, multiply,
+// shift and pack back: the "automatic" packing the paper credits for
+// image.mmx's speedup, plus real pack/unpack work.
+func EmitImgScale8(b *asm.Builder) {
+	const name = "nsImgScale8"
+	b.Proc(name)
+	emit.LoadArg(b, isa.EDI, 0)
+	emit.LoadArg(b, isa.ESI, 1)
+	emit.LoadArg(b, isa.ECX, 2)
+	emit.LoadArg(b, isa.EDX, 3)
+	emit.BroadcastW(b, isa.MM7, isa.EDX)
+	b.I(isa.PXOR, asm.R(isa.MM6), asm.R(isa.MM6)) // zero for unpacking
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".loop")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 1, 0))
+	b.I(isa.MOVQ, asm.R(isa.MM1), asm.R(isa.MM0))
+	b.I(isa.PUNPCKLBW, asm.R(isa.MM0), asm.R(isa.MM6))
+	b.I(isa.PUNPCKHBW, asm.R(isa.MM1), asm.R(isa.MM6))
+	b.I(isa.PMULLW, asm.R(isa.MM0), asm.R(isa.MM7))
+	b.I(isa.PMULLW, asm.R(isa.MM1), asm.R(isa.MM7))
+	b.I(isa.PSRLW, asm.R(isa.MM0), asm.Imm(8))
+	b.I(isa.PSRLW, asm.R(isa.MM1), asm.Imm(8))
+	b.I(isa.PACKUSWB, asm.R(isa.MM0), asm.R(isa.MM1))
+	b.I(isa.MOVQ, asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 1, 0), asm.R(isa.MM0))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(8))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.J(isa.JL, name+".loop")
+	b.Ret()
+}
+
+// EmitImgAdd8 emits nsImgAdd8(dst, src, n, addMask, subMask): saturating
+// per-channel color switch. The masks are 24-byte repeating patterns (the
+// RGB channel deltas laid out over three quadwords so 8 RGB pixels align
+// per iteration); positive deltas live in addMask, magnitudes of negative
+// deltas in subMask. n must be a multiple of 24.
+func EmitImgAdd8(b *asm.Builder) {
+	const name = "nsImgAdd8"
+	b.Proc(name)
+	emit.LoadArg(b, isa.EDI, 0)
+	emit.LoadArg(b, isa.ESI, 1)
+	emit.LoadArg(b, isa.ECX, 2)
+	emit.LoadArg(b, isa.EBX, 3) // addMask
+	emit.LoadArg(b, isa.EDX, 4) // subMask
+	// Load the three add quads into mm5..mm7 and keep sub quads in memory.
+	b.I(isa.MOVQ, asm.R(isa.MM5), asm.MemQ(isa.EBX, 0))
+	b.I(isa.MOVQ, asm.R(isa.MM6), asm.MemQ(isa.EBX, 8))
+	b.I(isa.MOVQ, asm.R(isa.MM7), asm.MemQ(isa.EBX, 16))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".loop")
+	for q := 0; q < 3; q++ {
+		off := int32(8 * q)
+		addReg := []isa.Reg{isa.MM5, isa.MM6, isa.MM7}[q]
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 1, off))
+		b.I(isa.PADDUSB, asm.R(isa.MM0), asm.R(addReg))
+		b.I(isa.PSUBUSB, asm.R(isa.MM0), asm.MemQ(isa.EDX, off))
+		b.I(isa.MOVQ, asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 1, off), asm.R(isa.MM0))
+	}
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(24))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.J(isa.JL, name+".loop")
+	b.Ret()
+}
+
+// ColorMasks builds the 24-byte add and subtract masks for per-channel
+// deltas (dr, dg, db): positive deltas go to add, negated negative deltas
+// to sub.
+func ColorMasks(dr, dg, db int) (add, sub []byte) {
+	pos := func(v int) byte {
+		if v > 0 {
+			return byte(v)
+		}
+		return 0
+	}
+	neg := func(v int) byte {
+		if v < 0 {
+			return byte(-v)
+		}
+		return 0
+	}
+	add = make([]byte, 24)
+	sub = make([]byte, 24)
+	d := [3]int{dr, dg, db}
+	for i := 0; i < 24; i++ {
+		add[i] = pos(d[i%3])
+		sub[i] = neg(d[i%3])
+	}
+	return add, sub
+}

@@ -1,0 +1,163 @@
+package mmxlib
+
+import (
+	"math"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/imgproc"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/synth"
+)
+
+func TestNsImgScale8(t *testing.T) {
+	const n = 96
+	src := synth.ImageRGB(8, 4, 5) // 96 bytes
+	b := asm.NewBuilder("t")
+	EmitImgScale8(b)
+	b.Bytes("src", src)
+	b.Reserve("dst", n)
+	b.Entry()
+	b.Proc("main")
+	// scaleQ8 = 192 -> multiply by 3/4.
+	emit.Call(b, "nsImgScale8", asm.ImmSym("dst", 0), asm.ImmSym("src", 0),
+		asm.Imm(n), asm.Imm(192))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadBytes(c.Prog.Addr("dst"), n)
+	want := make([]uint8, n)
+	dsp.ScaleBytes(want, src, 3, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: vm %d, ref %d (src %d)", i, got[i], want[i], src[i])
+		}
+	}
+}
+
+func TestNsImgAdd8(t *testing.T) {
+	const n = 120 // multiple of 24
+	src := synth.ImageRGB(10, 4, 6)
+	addM, subM := ColorMasks(40, 0, -55)
+	b := asm.NewBuilder("t")
+	EmitImgAdd8(b)
+	b.Bytes("src", src)
+	b.Bytes("addm", addM)
+	b.Bytes("subm", subM)
+	b.Reserve("dst", n)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "nsImgAdd8", asm.ImmSym("dst", 0), asm.ImmSym("src", 0),
+		asm.Imm(n), asm.ImmSym("addm", 0), asm.ImmSym("subm", 0))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadBytes(c.Prog.Addr("dst"), n)
+	want := make([]uint8, n)
+	imgproc.SwitchColors(want, src, imgproc.SwitchParams{DR: 40, DG: 0, DB: -55})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: vm %d, ref %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNsDct8(t *testing.T) {
+	in := []int16{-128, 100, -50, 127, 0, 30, -90, 5}
+	b := asm.NewBuilder("t")
+	EmitDct8(b)
+	b.Words("in", in)
+	b.Words("basis", DCTBasisQuads())
+	b.Reserve("out", 16)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "nsDct8", asm.ImmSym("in", 0), asm.ImmSym("out", 0), asm.ImmSym("basis", 0))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), 8)
+	want := make([]int16, 8)
+	dsp.DCT1D8Q15(want, in)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("bin %d: vm %d, ref %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestNsColorConv(t *testing.T) {
+	const npix = 16
+	rgb := synth.ImageRGB(4, 4, 9)
+	// One stray byte is read past the last pixel; pad the buffer.
+	rgbPad := append(append([]byte{}, rgb...), 0)
+	b := asm.NewBuilder("t")
+	EmitColorConv(b)
+	b.Bytes("rgb", rgbPad)
+	b.Words("coef", ColorConvCoefs())
+	b.Reserve("y", 2*npix)
+	b.Reserve("cb", 2*npix)
+	b.Reserve("cr", 2*npix)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "nsColorConv", asm.ImmSym("rgb", 0), asm.Imm(npix),
+		asm.ImmSym("y", 0), asm.ImmSym("cb", 0), asm.ImmSym("cr", 0),
+		asm.ImmSym("coef", 0))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	y, _ := c.Mem.ReadInt16s(c.Prog.Addr("y"), npix)
+	cb, _ := c.Mem.ReadInt16s(c.Prog.Addr("cb"), npix)
+	cr, _ := c.Mem.ReadInt16s(c.Prog.Addr("cr"), npix)
+	co := ColorConvCoefs()
+	for i := 0; i < npix; i++ {
+		r, g, bb := int32(rgb[3*i]), int32(rgb[3*i+1]), int32(rgb[3*i+2])
+		wy := int16((r*int32(co[0])+g*int32(co[1])+bb*int32(co[2]))>>15 - 128)
+		wcb := int16((r*int32(co[4]) + g*int32(co[5]) + bb*int32(co[6])) >> 15)
+		wcr := int16((r*int32(co[8]) + g*int32(co[9]) + bb*int32(co[10])) >> 15)
+		if y[i] != wy || cb[i] != wcb || cr[i] != wcr {
+			t.Fatalf("pixel %d: vm (%d,%d,%d), ref (%d,%d,%d)",
+				i, y[i], cb[i], cr[i], wy, wcb, wcr)
+		}
+	}
+}
+
+func TestNsQuantRecip(t *testing.T) {
+	var q [64]int
+	for i := range q {
+		q[i] = 1 + (i*7)%120
+	}
+	recips := QuantRecips(&q)
+	biases := QuantBiases(&q)
+	in := make([]int16, 64)
+	r := synth.NewRand(33)
+	for i := range in {
+		in[i] = int16(r.Intn(4096) - 2048) // DCT-range coefficients
+	}
+	b := asm.NewBuilder("t")
+	EmitQuantRecip(b)
+	b.Words("in", in)
+	b.Words("recip", recips[:])
+	b.Words("bias", biases[:])
+	b.Reserve("out", 128)
+	b.Entry()
+	b.Proc("main")
+	emit.Call(b, "nsQuant", asm.ImmSym("in", 0), asm.ImmSym("recip", 0),
+		asm.ImmSym("out", 0), asm.Imm(64), asm.ImmSym("bias", 0))
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), 64)
+	for i := range got {
+		want := QuantRecipModel(int32(in[i]), recips[i], biases[i])
+		if got[i] != want {
+			t.Fatalf("coef %d: vm %d, model %d", i, got[i], want)
+		}
+		// The biased reciprocal quantizer must track rounded division.
+		trueQ := math.Round(float64(in[i]) / float64(q[i]))
+		if d := float64(want) - trueQ; d > 1.01 || d < -1.01 {
+			t.Fatalf("coef %d: recip quant %d vs rounded true %.0f", i, want, trueQ)
+		}
+	}
+}

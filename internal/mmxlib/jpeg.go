@@ -1,0 +1,191 @@
+package mmxlib
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+)
+
+// DCTBasisQuads arranges the Q13 DCT basis for nsDct8: for each output
+// frequency k, two quads (B[0..3][k], B[4..7][k]).
+func DCTBasisQuads() []int16 {
+	basis := dsp.DCTCosQ13()
+	out := make([]int16, 64)
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 4; n++ {
+			out[8*k+n] = basis[n*8+k]
+			out[8*k+4+n] = basis[(n+4)*8+k]
+		}
+	}
+	return out
+}
+
+// EmitDct8 emits nsDct8(in, out, basis): the 8-point scaled DCT on int16
+// data via two pmaddwd per output coefficient, matching dsp.DCT1D8Q15 bit
+// for bit. The paper's jpeg.mmx must call this 16 times (plus transposes)
+// per 8x8 block because the library lacks a 2-D DCT — the overhead §4.2
+// dissects.
+func EmitDct8(b *asm.Builder) {
+	const name = "nsDct8"
+	b.Proc(name)
+	emit.LoadArg(b, isa.ESI, 0) // in
+	emit.LoadArg(b, isa.EDI, 1) // out
+	emit.LoadArg(b, isa.EBX, 2) // basis quads
+	// Keep the input quads resident.
+	b.I(isa.MOVQ, asm.R(isa.MM6), asm.MemQ(isa.ESI, 0))
+	b.I(isa.MOVQ, asm.R(isa.MM7), asm.MemQ(isa.ESI, 8))
+	for k := 0; k < 8; k++ {
+		off := int32(16 * k)
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.R(isa.MM6))
+		b.I(isa.PMADDWD, asm.R(isa.MM0), asm.MemQ(isa.EBX, off))
+		b.I(isa.MOVQ, asm.R(isa.MM1), asm.R(isa.MM7))
+		b.I(isa.PMADDWD, asm.R(isa.MM1), asm.MemQ(isa.EBX, off+8))
+		b.I(isa.PADDD, asm.R(isa.MM0), asm.R(isa.MM1))
+		emit.HSumD(b, isa.MM0, isa.MM2)
+		b.I(isa.MOVD, asm.R(isa.EAX), asm.R(isa.MM0))
+		// (acc + 1<<12) >> 13, saturated.
+		b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(1<<12))
+		b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(13))
+		clampAX(b, name+nameSuffix(k))
+		b.I(isa.MOV, asm.MemW(isa.EDI, int32(2*k)), asm.R(isa.EAX))
+	}
+	b.Ret()
+}
+
+func nameSuffix(k int) string { return string(rune('a' + k)) }
+
+// EmitColorConv emits nsColorConv(rgb, npix, y, cb, cr, coef): convert
+// interleaved 8-bit RGB to level-shifted 16-bit Y (Y-128) and centered
+// Cb/Cr planes, one pixel per iteration. coef points at three quads of
+// Q15 coefficients, each (cR, cG, cB, 0) for Y, Cb, Cr. Semantics per
+// channel: (R*cR + G*cG + B*cB) >> 15, Y additionally minus 128 — the
+// same formula the scalar jpeg.c computes with imul.
+func EmitColorConv(b *asm.Builder) {
+	const name = "nsColorConv"
+	b.Proc(name)
+	emit.LoadArg(b, isa.ESI, 0) // rgb
+	emit.LoadArg(b, isa.ECX, 1) // npix
+	emit.LoadArg(b, isa.EBX, 5) // coef
+	b.I(isa.PXOR, asm.R(isa.MM6), asm.R(isa.MM6))
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0)) // pixel index
+
+	b.Label(name + ".pix")
+	// Load R,G,B (+1 stray byte), widen to words: (R, G, B, x).
+	b.I(isa.MOVD, asm.R(isa.MM0), asm.MemD(isa.ESI, 0))
+	b.I(isa.PUNPCKLBW, asm.R(isa.MM0), asm.R(isa.MM6))
+
+	conv := func(coefOff int32, outArg int, levelShift int64, suffix string) {
+		b.I(isa.MOVQ, asm.R(isa.MM1), asm.R(isa.MM0))
+		b.I(isa.PMADDWD, asm.R(isa.MM1), asm.MemQ(isa.EBX, coefOff))
+		emit.HSumD(b, isa.MM1, isa.MM2)
+		b.I(isa.MOVD, asm.R(isa.EAX), asm.R(isa.MM1))
+		b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+		if levelShift != 0 {
+			b.I(isa.SUB, asm.R(isa.EAX), asm.Imm(levelShift))
+		}
+		b.I(isa.MOV, asm.R(isa.EDX), emit.Arg(outArg))
+		b.I(isa.MOV, asm.MemIdx(isa.SizeW, isa.EDX, isa.EBP, 2, 0), asm.R(isa.EAX))
+		_ = suffix
+	}
+	conv(0, 2, 128, "y")
+	conv(8, 3, 0, "cb")
+	conv(16, 4, 0, "cr")
+
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(3))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.R(isa.ECX))
+	b.J(isa.JL, name+".pix")
+	b.Ret()
+}
+
+// ColorConvCoefs returns the three Q15 coefficient quads (Y, Cb, Cr) that
+// nsColorConv and the scalar jpeg.c pipeline share.
+func ColorConvCoefs() []int16 {
+	return []int16{
+		9798, 19235, 3736, 0, // Y  = 0.299 R + 0.587 G + 0.114 B
+		-5529, -10855, 16384, 0, // Cb = -0.1687 R - 0.3313 G + 0.5 B
+		16384, -13720, -2664, 0, // Cr = 0.5 R - 0.4187 G - 0.0813 B
+	}
+}
+
+// EmitQuantRecip emits nsQuant(in, recip, out, n, bias): quantize DCT
+// coefficients by multiplying with Q15 reciprocals of the quantizer steps
+// (division is unavailable in MMX). A sign-aware rounding bias of half a
+// quantizer step is added first — without it the truncating multiply
+// floors every coefficient and visibly degrades the image. Semantics per
+// lane: out = trunc(((v + sign(v)*bias) * recip) >> 15), mirrored by
+// QuantRecipModel.
+func EmitQuantRecip(b *asm.Builder) {
+	const name = "nsQuant"
+	b.Proc(name)
+	emit.LoadArg(b, isa.ESI, 0)
+	emit.LoadArg(b, isa.EBX, 1)
+	emit.LoadArg(b, isa.EDI, 2)
+	emit.LoadArg(b, isa.ECX, 3)
+	emit.LoadArg(b, isa.EDX, 4) // bias table (q/2 per position)
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".loop")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 2, 0))
+	// Quantize magnitudes and restore the sign afterwards, so the
+	// truncation is symmetric around zero: mask = v < 0;
+	// |v| = (v ^ mask) - mask; result re-signed the same way.
+	b.I(isa.PXOR, asm.R(isa.MM3), asm.R(isa.MM3))
+	b.I(isa.PCMPGTW, asm.R(isa.MM3), asm.R(isa.MM0))
+	b.I(isa.PXOR, asm.R(isa.MM0), asm.R(isa.MM3))
+	b.I(isa.PSUBW, asm.R(isa.MM0), asm.R(isa.MM3))
+	b.I(isa.PADDW, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.EDX, isa.EAX, 2, 0))
+	// Truncating reciprocal multiply.
+	b.I(isa.MOVQ, asm.R(isa.MM1), asm.MemIdx(isa.SizeQ, isa.EBX, isa.EAX, 2, 0))
+	b.I(isa.MOVQ, asm.R(isa.MM2), asm.R(isa.MM0))
+	b.I(isa.PMULHW, asm.R(isa.MM0), asm.R(isa.MM1))
+	b.I(isa.PMULLW, asm.R(isa.MM2), asm.R(isa.MM1))
+	b.I(isa.PSLLW, asm.R(isa.MM0), asm.Imm(1))
+	b.I(isa.PSRLW, asm.R(isa.MM2), asm.Imm(15))
+	b.I(isa.POR, asm.R(isa.MM0), asm.R(isa.MM2))
+	// Restore the sign.
+	b.I(isa.PXOR, asm.R(isa.MM0), asm.R(isa.MM3))
+	b.I(isa.PSUBW, asm.R(isa.MM0), asm.R(isa.MM3))
+	b.I(isa.MOVQ, asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 2, 0), asm.R(isa.MM0))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(4))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.J(isa.JL, name+".loop")
+	b.Ret()
+}
+
+// QuantRecips converts a quantization table to Q15 reciprocals for
+// nsQuant.
+func QuantRecips(q *[64]int) [64]int16 {
+	var out [64]int16
+	for i, v := range q {
+		r := (32768 + v/2) / v
+		if r > 32767 {
+			r = 32767
+		}
+		out[i] = int16(r)
+	}
+	return out
+}
+
+// QuantBiases returns the half-step rounding biases for nsQuant.
+func QuantBiases(q *[64]int) [64]int16 {
+	var out [64]int16
+	for i, v := range q {
+		out[i] = int16(v / 2)
+	}
+	return out
+}
+
+// QuantRecipModel mirrors one nsQuant lane exactly: quantize the
+// magnitude, restore the sign.
+func QuantRecipModel(v int32, recip, bias int16) int16 {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	r := ((v + int32(bias)) * int32(recip)) >> 15
+	if neg {
+		r = -r
+	}
+	return int16(r)
+}

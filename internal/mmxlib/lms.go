@@ -1,0 +1,104 @@
+package mmxlib
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+)
+
+// LMS state-block layout for EmitLmsQ15 (byte offsets).
+const (
+	LmsOffN  = 0  // dword: tap count, multiple of 4 (zero-padded)
+	LmsOffMu = 4  // dword: Q15 step size in the low 16 bits
+	LmsOffW  = 16 // int16[n] weights, then int16[n] history
+)
+
+// EmitLmsQ15 emits nsLms(state, x, d) -> eax = y: one step of a Q15
+// least-mean-squares adaptive filter, hand-coded in MMX. The paper notes
+// the Intel library had no LMS ("Not all DSP algorithms have corresponding
+// MMX functions (e.g. the LMS algorithm)") and that the best results come
+// from "hand-coding some functions not available in the Intel assembly
+// libraries" — this routine is that future-work item.
+//
+// Semantics (mirrored by the test model): convolution accumulates exactly
+// via pmaddwd and narrows once with rounding; e = sat(d - y);
+// step = (mu*e)>>15 truncated; w[k] = satadd(w[k], (step*hist[k])>>15
+// truncated) via the pmulhw/pmullw recombination and paddsw.
+func EmitLmsQ15(b *asm.Builder) {
+	const name = "nsLms"
+	b.Proc(name)
+	emit.LoadArg(b, isa.EBP, 0) // state
+	b.I(isa.MOV, asm.R(isa.EDX), asm.MemD(isa.EBP, LmsOffN))
+	// edi = w, esi = hist = w + 2n.
+	b.I(isa.MOV, asm.R(isa.EDI), asm.R(isa.EBP))
+	b.I(isa.ADD, asm.R(isa.EDI), asm.Imm(LmsOffW))
+	b.I(isa.MOV, asm.R(isa.ESI), asm.R(isa.EDI))
+	b.I(isa.ADD, asm.R(isa.ESI), asm.R(isa.EDX))
+	b.I(isa.ADD, asm.R(isa.ESI), asm.R(isa.EDX))
+
+	// Shift history up one word and insert the new sample (as in nsFir).
+	b.I(isa.MOV, asm.R(isa.ECX), asm.R(isa.EDX))
+	b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(4))
+	b.Label(name + ".shift")
+	b.I(isa.CMP, asm.R(isa.ECX), asm.Imm(4))
+	b.J(isa.JL, name+".head")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.ESI, isa.ECX, 2, -2))
+	b.I(isa.MOVQ, asm.MemIdx(isa.SizeQ, isa.ESI, isa.ECX, 2, 0), asm.R(isa.MM0))
+	b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(4))
+	b.J(isa.JMP, name+".shift")
+	b.Label(name + ".head")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemQ(isa.ESI, 0))
+	b.I(isa.PSLLQ, asm.R(isa.MM0), asm.Imm(16))
+	b.I(isa.MOV, asm.R(isa.EAX), emit.Arg(1))
+	b.I(isa.AND, asm.R(isa.EAX), asm.Imm(0xFFFF))
+	b.I(isa.MOVD, asm.R(isa.MM1), asm.R(isa.EAX))
+	b.I(isa.POR, asm.R(isa.MM0), asm.R(isa.MM1))
+	b.I(isa.MOVQ, asm.MemQ(isa.ESI, 0), asm.R(isa.MM0))
+
+	// y = NarrowQ30(sum w*hist).
+	b.I(isa.PXOR, asm.R(isa.MM6), asm.R(isa.MM6))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".mac")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 2, 0))
+	b.I(isa.PMADDWD, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 2, 0))
+	b.I(isa.PADDD, asm.R(isa.MM6), asm.R(isa.MM0))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(4))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.J(isa.JL, name+".mac")
+	emit.HSumD(b, isa.MM6, isa.MM5)
+	b.I(isa.MOVD, asm.R(isa.EAX), asm.R(isa.MM6))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(1<<14))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	clampAX(b, name+".y")
+
+	// e = sat(d - y); step = (mu*e)>>15 truncated.
+	b.I(isa.MOV, asm.R(isa.ECX), emit.Arg(2))
+	b.I(isa.PUSH, asm.R(isa.EAX)) // save y for the return value
+	b.I(isa.SUB, asm.R(isa.ECX), asm.R(isa.EAX))
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ECX))
+	clampAX(b, name+".e")
+	b.I(isa.MOVSXW, asm.R(isa.ECX), asm.MemW(isa.EBP, LmsOffMu))
+	b.I(isa.IMUL, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(15))
+	emit.BroadcastW(b, isa.MM7, isa.EAX) // step in all four lanes
+
+	// w[k] = satadd(w[k], trunc(step * hist[k])), four taps per iteration.
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+	b.Label(name + ".update")
+	b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemIdx(isa.SizeQ, isa.ESI, isa.EAX, 2, 0))
+	b.I(isa.MOVQ, asm.R(isa.MM2), asm.R(isa.MM0))
+	b.I(isa.PMULHW, asm.R(isa.MM0), asm.R(isa.MM7))
+	b.I(isa.PMULLW, asm.R(isa.MM2), asm.R(isa.MM7))
+	b.I(isa.PSLLW, asm.R(isa.MM0), asm.Imm(1))
+	b.I(isa.PSRLW, asm.R(isa.MM2), asm.Imm(15))
+	b.I(isa.POR, asm.R(isa.MM0), asm.R(isa.MM2)) // trunc(step*hist)
+	b.I(isa.MOVQ, asm.R(isa.MM1), asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 2, 0))
+	b.I(isa.PADDSW, asm.R(isa.MM1), asm.R(isa.MM0))
+	b.I(isa.MOVQ, asm.MemIdx(isa.SizeQ, isa.EDI, isa.EAX, 2, 0), asm.R(isa.MM1))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(4))
+	b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.EDX))
+	b.J(isa.JL, name+".update")
+
+	b.I(isa.POP, asm.R(isa.EAX)) // y
+	b.Ret()
+}

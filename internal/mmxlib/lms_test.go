@@ -1,0 +1,106 @@
+package mmxlib
+
+import (
+	"math"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/dsp"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/fixed"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/synth"
+)
+
+// lmsModel mirrors nsLms exactly: rounded-narrow convolution, truncated
+// step and update products, saturating weight add.
+type lmsModel struct {
+	w, hist []int16
+	mu      int16
+}
+
+func (f *lmsModel) step(x, d int16) int16 {
+	copy(f.hist[1:], f.hist)
+	f.hist[0] = x
+	var acc int64
+	for k := range f.w {
+		acc += int64(f.w[k]) * int64(f.hist[k])
+	}
+	y := fixed.NarrowQ30(acc)
+	e := fixed.SatW(int32(d) - int32(y))
+	step := fixed.MulQ15Trunc(f.mu, e)
+	for k := range f.w {
+		f.w[k] = fixed.SatW(int32(f.w[k]) + int32(fixed.MulQ15Trunc(step, f.hist[k])))
+	}
+	return y
+}
+
+func TestNsLmsMatchesModelAndConverges(t *testing.T) {
+	const taps = 8
+	const samples = 2000
+	mu := fixed.ToQ15(0.25)
+
+	// Desired response comes from a fixed plant.
+	plant := fixed.VecToQ15([]float64{0.4, -0.2, 0.1, 0.05, 0, 0, 0, 0})
+	ref := dsp.NewFIRQ15(plant)
+	r := synth.NewRand(0x1A5)
+	input := make([]int16, samples)
+	desired := make([]int16, samples)
+	for i := range input {
+		input[i] = int16(r.Intn(16384) - 8192)
+		desired[i] = ref.Process(input[i])
+	}
+
+	b := asm.NewBuilder("t")
+	EmitLmsQ15(b)
+	b.Dwords("state", []int32{taps, int32(mu), 0, 0})
+	b.Words("state.w", make([]int16, taps))
+	b.Words("state.h", make([]int16, taps))
+	b.Words("in", input)
+	b.Words("des", desired)
+	b.Reserve("out", 2*samples)
+	b.Entry()
+	b.Proc("main")
+	b.I(isa.MOV, asm.R(isa.EBP), asm.Imm(0))
+	b.Label("s")
+	b.I(isa.MOVSXW, asm.R(isa.EAX), asm.SymIdx(isa.SizeW, "in", isa.EBP, 2, 0))
+	b.I(isa.MOVSXW, asm.R(isa.EBX), asm.SymIdx(isa.SizeW, "des", isa.EBP, 2, 0))
+	b.I(isa.PUSH, asm.R(isa.EBP))
+	emit.Call(b, "nsLms", asm.ImmSym("state", 0), asm.R(isa.EAX), asm.R(isa.EBX))
+	b.I(isa.POP, asm.R(isa.EBP))
+	b.I(isa.MOV, asm.SymIdx(isa.SizeW, "out", isa.EBP, 2, 0), asm.R(isa.EAX))
+	b.I(isa.INC, asm.R(isa.EBP))
+	b.I(isa.CMP, asm.R(isa.EBP), asm.Imm(samples))
+	b.J(isa.JL, "s")
+	b.I(isa.EMMS)
+	b.I(isa.HALT)
+
+	c := runProgram(t, b)
+	got, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), samples)
+
+	// Bit-exact against the mirror model.
+	m := &lmsModel{w: make([]int16, taps), hist: make([]int16, taps), mu: mu}
+	for i := range input {
+		want := m.step(input[i], desired[i])
+		if got[i] != want {
+			t.Fatalf("sample %d: vm %d, model %d", i, got[i], want)
+		}
+	}
+
+	// Convergence: final weights near the plant, tail error small.
+	w, _ := c.Mem.ReadInt16s(c.Prog.Addr("state.w"), taps)
+	for k := 0; k < 4; k++ {
+		if d := math.Abs(float64(w[k] - plant[k])); d > 2000 {
+			t.Errorf("w[%d] = %d, want ~%d", k, w[k], plant[k])
+		}
+	}
+	var tail float64
+	for i := samples - 200; i < samples; i++ {
+		e := float64(desired[i]) - float64(got[i])
+		tail += e * e
+	}
+	rms := math.Sqrt(tail/200) / 32768
+	if rms > 0.02 {
+		t.Errorf("tail RMS error = %g, want < 0.02 (converged)", rms)
+	}
+}

@@ -1,0 +1,122 @@
+package pentium
+
+import (
+	"testing"
+
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/synth"
+	"mmxdsp/internal/vm"
+)
+
+// randomStream builds n random-but-valid register-form instructions.
+func randomStream(n int, seed uint64) []isa.Inst {
+	r := synth.NewRand(seed)
+	gprs := []isa.Reg{isa.EAX, isa.EBX, isa.ECX, isa.EDX, isa.ESI, isa.EDI}
+	mms := []isa.Reg{isa.MM0, isa.MM1, isa.MM2, isa.MM3}
+	ops := []isa.Op{isa.MOV, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.CMP, isa.TEST, isa.INC, isa.DEC, isa.SHL, isa.IMUL,
+		isa.PADDW, isa.PSUBW, isa.PMADDWD, isa.PMULLW, isa.PAND, isa.PXOR,
+		isa.MOVQ, isa.PSLLW}
+	out := make([]isa.Inst, n)
+	for i := range out {
+		op := ops[r.Intn(len(ops))]
+		var a, b isa.Operand
+		switch op.Class() {
+		case isa.ClassMMXArith, isa.ClassMMXMul, isa.ClassMMXMove:
+			a = isa.Operand{Kind: isa.KindReg, Reg: mms[r.Intn(len(mms))]}
+			b = isa.Operand{Kind: isa.KindReg, Reg: mms[r.Intn(len(mms))]}
+		case isa.ClassMMXShift:
+			a = isa.Operand{Kind: isa.KindReg, Reg: mms[r.Intn(len(mms))]}
+			b = isa.Operand{Kind: isa.KindImm, Imm: int64(r.Intn(16))}
+		case isa.ClassShift:
+			a = isa.Operand{Kind: isa.KindReg, Reg: gprs[r.Intn(len(gprs))]}
+			b = isa.Operand{Kind: isa.KindImm, Imm: int64(r.Intn(31))}
+		default:
+			a = isa.Operand{Kind: isa.KindReg, Reg: gprs[r.Intn(len(gprs))]}
+			b = isa.Operand{Kind: isa.KindReg, Reg: gprs[r.Intn(len(gprs))]}
+			if op == isa.INC || op == isa.DEC {
+				b = isa.Operand{}
+			}
+		}
+		out[i] = isa.Inst{Op: op, A: a, B: b}
+	}
+	return out
+}
+
+// TestTimingModelInvariants checks structural properties over random
+// instruction streams:
+//   - the clock never moves backwards;
+//   - at most every other instruction pairs (a pair needs a U host);
+//   - total cycles are bounded below by issue slots (n - pairs) and above
+//     by the sum of worst-case costs.
+func TestTimingModelInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		m := New(DefaultConfig())
+		insts := randomStream(500, seed)
+		var last uint64
+		var worst uint64
+		for i := range insts {
+			c := m.Retire(vm.Event{PC: i, Inst: &insts[i], Measured: true})
+			if c < 0 {
+				t.Fatalf("seed %d: negative cycle delta %d", seed, c)
+			}
+			if m.Cycles() < last {
+				t.Fatalf("seed %d: clock moved backwards", seed)
+			}
+			last = m.Cycles()
+			lat := insts[i].Op.Latency()
+			worst += uint64(lat + 3) // latency + max stall vs 3-cycle producer
+		}
+		n := uint64(len(insts))
+		if m.Pairs() > n/2 {
+			t.Errorf("seed %d: %d pairs out of %d instructions", seed, m.Pairs(), n)
+		}
+		if m.Cycles()+m.Pairs() < n {
+			t.Errorf("seed %d: cycles %d + pairs %d < %d instructions",
+				seed, m.Cycles(), m.Pairs(), n)
+		}
+		if m.Cycles() > worst {
+			t.Errorf("seed %d: cycles %d exceed worst-case bound %d", seed, m.Cycles(), worst)
+		}
+	}
+}
+
+// TestDualIssueNeverSlower compares each random stream with pairing on and
+// off: dual issue must never increase the cycle count.
+func TestDualIssueNeverSlower(t *testing.T) {
+	off := DefaultConfig()
+	off.DisablePairing = true
+	for seed := uint64(30); seed <= 45; seed++ {
+		insts := randomStream(300, seed)
+		mOn := New(DefaultConfig())
+		mOff := New(off)
+		for i := range insts {
+			mOn.Retire(vm.Event{PC: i, Inst: &insts[i]})
+			mOff.Retire(vm.Event{PC: i, Inst: &insts[i]})
+		}
+		if mOn.Cycles() > mOff.Cycles() {
+			t.Errorf("seed %d: pairing made it slower (%d > %d)",
+				seed, mOn.Cycles(), mOff.Cycles())
+		}
+	}
+}
+
+// TestMemPenaltyStrictlyAdds: adding a memory penalty to one event grows
+// total cycles by at least that penalty.
+func TestMemPenaltyStrictlyAdds(t *testing.T) {
+	insts := randomStream(100, 99)
+	run := func(pen int) uint64 {
+		m := New(DefaultConfig())
+		for i := range insts {
+			ev := vm.Event{PC: i, Inst: &insts[i]}
+			if i == 50 {
+				ev.MemPenalty = pen
+			}
+			m.Retire(ev)
+		}
+		return m.Cycles()
+	}
+	if run(26) < run(0)+20 {
+		t.Errorf("26-cycle penalty added %d cycles", run(26)-run(0))
+	}
+}

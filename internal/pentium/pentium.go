@@ -1,0 +1,263 @@
+// Package pentium models Pentium-with-MMX cycle timing for a retired
+// instruction stream: dual-issue U/V pipe pairing, a register scoreboard
+// that charges dependency stalls against each unit's result latency
+// (pipelined FP adder/multiplier and MMX multiplier: one issue per cycle,
+// three-cycle results), blocking microcoded operations (imul, idiv, fdiv,
+// transcendentals, emms), a branch-target-buffer predictor, and the
+// data-cache penalties attached to each event by the VM's cache model.
+//
+// This is the methodology the paper's measurement tool used: "Clock cycles
+// are calculated from the known latency of each assembly instruction and
+// known latency of each penalty on the Pentium, e.g., cache misses and
+// branch target buffer misses."
+package pentium
+
+import (
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/vm"
+)
+
+// Config tunes the timing model; the zero value of each field selects the
+// documented default. Ablation benchmarks override individual fields.
+type Config struct {
+	// MispredictPenalty is the cycles charged when the BTB prediction is
+	// wrong (default 4).
+	MispredictPenalty int
+	// DisablePairing turns off dual issue (ablation).
+	DisablePairing bool
+	// DisableBTB makes every conditional branch pay the penalty when
+	// taken, modeling a machine without branch prediction (ablation).
+	DisableBTB bool
+	// EmmsLatency overrides the emms cost if non-negative; -1 keeps the
+	// ISA table value. Use 0 to ablate the MMX-FP switch penalty.
+	EmmsLatency int
+	// MMXMulLatency overrides pmullw/pmulhw/pmaddwd if positive
+	// (ablation for the matvec superlinearity analysis).
+	MMXMulLatency int
+}
+
+// DefaultConfig returns the standard Pentium-with-MMX configuration.
+func DefaultConfig() Config {
+	return Config{MispredictPenalty: 4, EmmsLatency: -1}
+}
+
+// Model accumulates cycles for a retired instruction stream.
+type Model struct {
+	cfg Config
+
+	now uint64
+	// readyAt[r] is the cycle at which register r's latest value becomes
+	// available to consumers.
+	readyAt [isa.NumRegs]uint64
+
+	// Pairing state: whether the previous instruction can still host a
+	// V-pipe partner, and the issue cycle it would share.
+	haveU   bool
+	uInst   *isa.Inst
+	uIssue  uint64
+	uWrites []isa.Reg
+	vReads  []isa.Reg
+	vWrites []isa.Reg
+	scratch []isa.Reg
+
+	paired   uint64
+	branches uint64
+	mispred  uint64
+
+	btb btb
+}
+
+// New builds a timing model with the given configuration.
+func New(cfg Config) *Model {
+	if cfg.MispredictPenalty == 0 {
+		cfg.MispredictPenalty = 4
+	}
+	m := &Model{cfg: cfg}
+	m.btb.reset()
+	return m
+}
+
+// Cycles returns the total cycles charged so far.
+func (m *Model) Cycles() uint64 { return m.now }
+
+// Pairs returns how many instruction pairs dual-issued.
+func (m *Model) Pairs() uint64 { return m.paired }
+
+// Branches returns the conditional-branch count.
+func (m *Model) Branches() uint64 { return m.branches }
+
+// Mispredicts returns the mispredicted-branch count.
+func (m *Model) Mispredicts() uint64 { return m.mispred }
+
+// latency returns the result latency after config overrides.
+func (m *Model) latency(op isa.Op) int {
+	switch {
+	case op == isa.EMMS && m.cfg.EmmsLatency >= 0:
+		return m.cfg.EmmsLatency
+	case op.Class() == isa.ClassMMXMul && m.cfg.MMXMulLatency > 0:
+		return m.cfg.MMXMulLatency
+	}
+	return op.Latency()
+}
+
+// occupancy returns how many cycles the instruction blocks its issue pipe.
+// Pipelined units (integer ALU, FP adder/multiplier, all MMX ALUs and the
+// MMX multiplier, loads/stores) occupy one cycle; microcoded or
+// unpipelined operations block for their full latency.
+func occupancy(op isa.Op, lat int) int {
+	switch op.Class() {
+	case isa.ClassMul, isa.ClassDiv, isa.ClassFPDiv, isa.ClassFPTrans,
+		isa.ClassEMMS, isa.ClassCall, isa.ClassRet:
+		return lat
+	}
+	switch op {
+	case isa.FILD, isa.FIST, isa.FCOM, isa.XCHG, isa.CDQ:
+		return lat
+	}
+	return 1
+}
+
+// Retire processes one event and returns the cycles the clock advanced.
+func (m *Model) Retire(ev vm.Event) int {
+	op := ev.Inst.Op
+	lat := m.latency(op)
+	occ := occupancy(op, lat)
+	if op.Class() == isa.ClassMMXMul && m.cfg.MMXMulLatency > 0 {
+		// The ablation models an unpipelined multiplier like imul's.
+		occ = lat
+	}
+
+	// Dependency stall: wait for every source register.
+	start := m.now
+	reads := ev.Inst.RegsRead(m.scratch[:0])
+	for _, r := range reads {
+		if t := m.readyAt[r]; t > start {
+			start = t
+		}
+	}
+	m.scratch = reads[:0]
+
+	var penalty int
+	if op.IsBranch() {
+		m.branches++
+		var predictTaken bool
+		if !m.cfg.DisableBTB {
+			predictTaken = m.btb.predict(ev.PC)
+		}
+		if predictTaken != ev.Taken {
+			m.mispred++
+			penalty += m.cfg.MispredictPenalty
+		}
+		if !m.cfg.DisableBTB {
+			m.btb.update(ev.PC, ev.Taken)
+		}
+	}
+	penalty += ev.MemPenalty
+
+	before := m.now
+
+	// Dual issue: a stall-free pairable instruction joins the pending
+	// U-pipe instruction's cycle.
+	if !m.cfg.DisablePairing && m.haveU && start == m.now && penalty == 0 &&
+		occ == 1 && m.canPairAsV(ev.Inst) {
+		m.paired++
+		m.haveU = false
+		m.setWrites(ev.Inst, m.uIssue+uint64(lat))
+		return 0
+	}
+
+	issue := start
+	m.now = issue + uint64(occ+penalty)
+	m.setWrites(ev.Inst, issue+uint64(lat)+uint64(ev.MemPenalty))
+
+	if op.PairableU() && !ev.Taken && penalty == 0 {
+		m.haveU = true
+		m.uInst = ev.Inst
+		m.uIssue = issue
+		m.uWrites = ev.Inst.RegsWritten(m.uWrites[:0])
+	} else {
+		m.haveU = false
+	}
+	return int(m.now - before)
+}
+
+func (m *Model) setWrites(in *isa.Inst, ready uint64) {
+	m.scratch = in.RegsWritten(m.scratch[:0])
+	for _, r := range m.scratch {
+		m.readyAt[r] = ready
+	}
+	m.scratch = m.scratch[:0]
+}
+
+// canPairAsV reports whether inst may dual-issue in the V pipe behind the
+// pending U instruction.
+func (m *Model) canPairAsV(inst *isa.Inst) bool {
+	if !inst.Op.PairableV() {
+		return false
+	}
+	// The Pentium pairs at most one data memory reference per cycle
+	// (two only in restricted same-bank cases, conservatively excluded).
+	if m.uInst.ReferencesMemory() && inst.ReferencesMemory() {
+		return false
+	}
+	// Register dependencies: V may not read or write anything U writes.
+	if len(m.uWrites) > 0 {
+		m.vReads = inst.RegsRead(m.vReads[:0])
+		m.vWrites = inst.RegsWritten(m.vWrites[:0])
+		for _, w := range m.uWrites {
+			for _, r := range m.vReads {
+				if r == w {
+					return false
+				}
+			}
+			for _, w2 := range m.vWrites {
+				if w2 == w {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// btb is a 256-entry direct-mapped branch target buffer with 2-bit
+// saturating counters. Branches absent from the BTB are statically
+// predicted not taken, as on the Pentium.
+type btb struct {
+	tags  [256]int32
+	ctr   [256]uint8
+	valid [256]bool
+}
+
+func (b *btb) reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+		b.tags[i] = 0
+		b.ctr[i] = 0
+	}
+}
+
+func (b *btb) predict(pc int) bool {
+	i := pc & 255
+	return b.valid[i] && b.tags[i] == int32(pc) && b.ctr[i] >= 2
+}
+
+func (b *btb) update(pc int, taken bool) {
+	i := pc & 255
+	if !b.valid[i] || b.tags[i] != int32(pc) {
+		// Allocate on taken, matching BTB fill behavior.
+		if taken {
+			b.valid[i] = true
+			b.tags[i] = int32(pc)
+			b.ctr[i] = 2
+		}
+		return
+	}
+	if taken {
+		if b.ctr[i] < 3 {
+			b.ctr[i]++
+		}
+	} else if b.ctr[i] > 0 {
+		b.ctr[i]--
+	}
+}

@@ -1,0 +1,252 @@
+package pentium
+
+import (
+	"testing"
+
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/vm"
+)
+
+func reg(r isa.Reg) isa.Operand { return isa.Operand{Kind: isa.KindReg, Reg: r} }
+func memOp(base isa.Reg) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Reg: base, Size: isa.SizeD}
+}
+
+func ev(in *isa.Inst) vm.Event { return vm.Event{Inst: in, Measured: true} }
+
+func TestIndependentSimpleInstructionsPair(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.ADD, A: reg(isa.EAX), B: reg(isa.EBX)}
+	i2 := &isa.Inst{Op: isa.ADD, A: reg(isa.ECX), B: reg(isa.EDX)}
+	c1 := m.Retire(ev(i1))
+	c2 := m.Retire(ev(i2))
+	if c1 != 1 || c2 != 0 {
+		t.Errorf("pair costs = %d, %d; want 1, 0", c1, c2)
+	}
+	if m.Cycles() != 1 || m.Pairs() != 1 {
+		t.Errorf("cycles=%d pairs=%d, want 1, 1", m.Cycles(), m.Pairs())
+	}
+}
+
+func TestDependentInstructionsDoNotPair(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.ADD, A: reg(isa.EAX), B: reg(isa.EBX)}
+	i2 := &isa.Inst{Op: isa.ADD, A: reg(isa.ECX), B: reg(isa.EAX)} // reads eax
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Cycles() != 2 || m.Pairs() != 0 {
+		t.Errorf("cycles=%d pairs=%d, want 2, 0", m.Cycles(), m.Pairs())
+	}
+}
+
+func TestWAWDoesNotPair(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.MOV, A: reg(isa.EAX), B: reg(isa.EBX)}
+	i2 := &isa.Inst{Op: isa.MOV, A: reg(isa.EAX), B: reg(isa.ECX)}
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Pairs() != 0 {
+		t.Error("two writes to eax must not pair")
+	}
+}
+
+func TestTwoMemoryRefsDoNotPair(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.MOV, A: reg(isa.EAX), B: memOp(isa.ESI)}
+	i2 := &isa.Inst{Op: isa.MOV, A: reg(isa.EBX), B: memOp(isa.EDI)}
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Pairs() != 0 {
+		t.Error("two memory references must not pair")
+	}
+}
+
+func TestShiftOnlyInU(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.ADD, A: reg(isa.EAX), B: reg(isa.EBX)}
+	i2 := &isa.Inst{Op: isa.SHL, A: reg(isa.ECX), B: isa.Operand{Kind: isa.KindImm, Imm: 2}}
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Pairs() != 0 {
+		t.Error("shift must not issue in V")
+	}
+	// But an add may pair behind the shift.
+	i3 := &isa.Inst{Op: isa.ADD, A: reg(isa.EDX), B: reg(isa.EBX)}
+	m.Retire(ev(i3))
+	if m.Pairs() != 1 {
+		t.Error("simple op should pair behind a shift in U")
+	}
+}
+
+func TestImulLatencyAndNoPairing(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.IMUL, A: reg(isa.EAX), B: reg(isa.EBX)}
+	c := m.Retire(ev(i1))
+	if c != 10 {
+		t.Errorf("imul cost = %d, want 10", c)
+	}
+	i2 := &isa.Inst{Op: isa.ADD, A: reg(isa.ECX), B: reg(isa.EDX)}
+	m.Retire(ev(i2))
+	if m.Pairs() != 0 {
+		t.Error("nothing pairs behind imul")
+	}
+}
+
+func TestTwoMMXArithPair(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.PADDW, A: reg(isa.MM0), B: reg(isa.MM1)}
+	i2 := &isa.Inst{Op: isa.PSUBW, A: reg(isa.MM2), B: reg(isa.MM3)}
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Pairs() != 1 || m.Cycles() != 1 {
+		t.Errorf("MMX pair: pairs=%d cycles=%d", m.Pairs(), m.Cycles())
+	}
+}
+
+func TestTwoMMXMultipliesDoNotPair(t *testing.T) {
+	m := New(DefaultConfig())
+	i1 := &isa.Inst{Op: isa.PMADDWD, A: reg(isa.MM0), B: reg(isa.MM1)}
+	i2 := &isa.Inst{Op: isa.PMULLW, A: reg(isa.MM2), B: reg(isa.MM3)}
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Pairs() != 0 {
+		t.Error("there is only one MMX multiplier")
+	}
+	// The multiplier is pipelined: independent multiplies issue on
+	// consecutive cycles even though each result takes 3 cycles.
+	if m.Cycles() != 2 {
+		t.Errorf("cycles = %d, want 2 (pipelined multiplier)", m.Cycles())
+	}
+}
+
+func TestMultiplierLatencyStallsConsumer(t *testing.T) {
+	m := New(DefaultConfig())
+	mul := &isa.Inst{Op: isa.PMADDWD, A: reg(isa.MM0), B: reg(isa.MM1)}
+	use := &isa.Inst{Op: isa.PADDD, A: reg(isa.MM6), B: reg(isa.MM0)}
+	m.Retire(ev(mul)) // issues at 0, mm0 ready at 3
+	c := m.Retire(ev(use))
+	if m.Cycles() != 4 || c != 3 {
+		t.Errorf("cycles = %d (delta %d), want 4 (stall to cycle 3, finish 4)", m.Cycles(), c)
+	}
+}
+
+func TestFPAdderIsPipelined(t *testing.T) {
+	m := New(DefaultConfig())
+	// Independent multiplies: 1 cycle each. A dependent accumulate chain
+	// stalls on the 3-cycle adder latency.
+	f1 := &isa.Inst{Op: isa.FMUL, A: reg(isa.FP1), B: reg(isa.FP5)}
+	f2 := &isa.Inst{Op: isa.FMUL, A: reg(isa.FP2), B: reg(isa.FP5)}
+	m.Retire(ev(f1))
+	m.Retire(ev(f2))
+	if m.Cycles() != 2 {
+		t.Errorf("independent fmuls = %d cycles, want 2", m.Cycles())
+	}
+	a1 := &isa.Inst{Op: isa.FADD, A: reg(isa.FP0), B: reg(isa.FP1)}
+	a2 := &isa.Inst{Op: isa.FADD, A: reg(isa.FP0), B: reg(isa.FP2)}
+	m.Retire(ev(a1)) // fp1 ready at 0+3=3; issues at 3, fp0 ready at 6
+	m.Retire(ev(a2)) // stalls until 6
+	if m.Cycles() != 7 {
+		t.Errorf("dependent fadd chain = %d cycles, want 7", m.Cycles())
+	}
+}
+
+func TestBlockingOperationsOccupyFullLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	div := &isa.Inst{Op: isa.IDIV, A: reg(isa.EBX)}
+	if c := m.Retire(ev(div)); c != 46 {
+		t.Errorf("idiv advanced %d cycles, want 46 (unpipelined)", c)
+	}
+}
+
+func TestMemPenaltyAddsToCost(t *testing.T) {
+	m := New(DefaultConfig())
+	in := &isa.Inst{Op: isa.MOV, A: reg(isa.EAX), B: memOp(isa.ESI)}
+	e := ev(in)
+	e.MemPenalty = 11
+	if c := m.Retire(e); c != 12 {
+		t.Errorf("cost = %d, want 12 (1 + 11 penalty)", c)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	m := New(DefaultConfig())
+	br := &isa.Inst{Op: isa.JNE, Target: 0}
+	// A loop branch at PC 5 taken 20 times: the first execution
+	// mispredicts (BTB cold, static not-taken), later ones hit.
+	for i := 0; i < 20; i++ {
+		m.Retire(vm.Event{PC: 5, Inst: br, Taken: true, Measured: true})
+	}
+	if m.Branches() != 20 {
+		t.Errorf("branches = %d, want 20", m.Branches())
+	}
+	if m.Mispredicts() != 1 {
+		t.Errorf("mispredicts = %d, want 1 (cold BTB only)", m.Mispredicts())
+	}
+	// Loop exit (not taken) mispredicts once.
+	m.Retire(vm.Event{PC: 5, Inst: br, Taken: false, Measured: true})
+	if m.Mispredicts() != 2 {
+		t.Errorf("mispredicts = %d, want 2 after loop exit", m.Mispredicts())
+	}
+}
+
+func TestDisableBTBChargesEveryTaken(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableBTB = true
+	m := New(cfg)
+	br := &isa.Inst{Op: isa.JNE, Target: 0}
+	for i := 0; i < 10; i++ {
+		m.Retire(vm.Event{PC: 5, Inst: br, Taken: true, Measured: true})
+	}
+	if m.Mispredicts() != 10 {
+		t.Errorf("mispredicts = %d, want 10 with BTB disabled", m.Mispredicts())
+	}
+}
+
+func TestEmmsAblation(t *testing.T) {
+	emms := &isa.Inst{Op: isa.EMMS}
+	m := New(DefaultConfig())
+	if c := m.Retire(ev(emms)); c != 50 {
+		t.Errorf("emms cost = %d, want 50", c)
+	}
+	cfg := DefaultConfig()
+	cfg.EmmsLatency = 0
+	m = New(cfg)
+	if c := m.Retire(ev(emms)); c != 0 {
+		t.Errorf("ablated emms cost = %d, want 0", c)
+	}
+}
+
+func TestMMXMulAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MMXMulLatency = 10
+	m := New(cfg)
+	in := &isa.Inst{Op: isa.PMADDWD, A: reg(isa.MM0), B: reg(isa.MM1)}
+	if c := m.Retire(ev(in)); c != 10 {
+		t.Errorf("ablated pmaddwd cost = %d, want 10", c)
+	}
+}
+
+func TestDisablePairing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisablePairing = true
+	m := New(cfg)
+	i1 := &isa.Inst{Op: isa.ADD, A: reg(isa.EAX), B: reg(isa.EBX)}
+	i2 := &isa.Inst{Op: isa.ADD, A: reg(isa.ECX), B: reg(isa.EDX)}
+	m.Retire(ev(i1))
+	m.Retire(ev(i2))
+	if m.Cycles() != 2 || m.Pairs() != 0 {
+		t.Errorf("cycles=%d pairs=%d with pairing disabled", m.Cycles(), m.Pairs())
+	}
+}
+
+func TestTakenTransferBreaksPairWindow(t *testing.T) {
+	m := New(DefaultConfig())
+	// A taken jump cannot host a V partner from the fall-through path.
+	jmp := &isa.Inst{Op: isa.JMP, Target: 9}
+	m.Retire(vm.Event{Inst: jmp, Taken: true, Measured: true})
+	i2 := &isa.Inst{Op: isa.ADD, A: reg(isa.EAX), B: reg(isa.EBX)}
+	m.Retire(ev(i2))
+	if m.Pairs() != 0 {
+		t.Error("nothing pairs behind a taken transfer")
+	}
+}

@@ -1,0 +1,218 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/pentium"
+	"mmxdsp/internal/vm"
+)
+
+// buildAndRun executes a program with a fresh collector and returns the
+// report.
+func buildAndRun(t *testing.T, build func(b *asm.Builder)) *Report {
+	t.Helper()
+	b := asm.NewBuilder("prof-test")
+	build(b)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(p, pentium.New(pentium.DefaultConfig()))
+	c := vm.New(p)
+	c.Obs = col
+	if err := c.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	return col.Report(p.Name)
+}
+
+func TestOnlyMeasuredRegionCounts(t *testing.T) {
+	rep := buildAndRun(t, func(b *asm.Builder) {
+		b.Proc("main")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1)) // outside
+		b.I(isa.PROFON)
+		b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(2))
+		b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(3))
+		b.I(isa.PROFOFF)
+		b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(4)) // outside
+		b.I(isa.HALT)
+	})
+	if rep.DynamicInstructions != 2 {
+		t.Errorf("dynamic = %d, want 2 (only the measured region)", rep.DynamicInstructions)
+	}
+	if rep.StaticInstructions != 2 {
+		t.Errorf("static = %d, want 2", rep.StaticInstructions)
+	}
+	if rep.Cycles == 0 {
+		t.Error("measured cycles must be nonzero")
+	}
+}
+
+func TestStaticVersusDynamic(t *testing.T) {
+	rep := buildAndRun(t, func(b *asm.Builder) {
+		b.Proc("main")
+		b.I(isa.PROFON)
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(10))
+		b.Label("loop")
+		b.I(isa.DEC, asm.R(isa.ECX))
+		b.J(isa.JNE, "loop")
+		b.I(isa.PROFOFF)
+		b.I(isa.HALT)
+	})
+	if rep.StaticInstructions != 3 {
+		t.Errorf("static = %d, want 3 (mov, dec, jne)", rep.StaticInstructions)
+	}
+	if rep.DynamicInstructions != 21 {
+		t.Errorf("dynamic = %d, want 21 (1 + 2*10)", rep.DynamicInstructions)
+	}
+}
+
+func TestMMXCategoriesAndPercent(t *testing.T) {
+	rep := buildAndRun(t, func(b *asm.Builder) {
+		b.Words("v", []int16{1, 2, 3, 4})
+		b.Proc("main")
+		b.I(isa.PROFON)
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.Sym(isa.SizeQ, "v", 0)) // move
+		b.I(isa.PUNPCKLWD, asm.R(isa.MM1), asm.R(isa.MM0))        // pack/unpack
+		b.I(isa.PADDW, asm.R(isa.MM0), asm.R(isa.MM1))            // arith
+		b.I(isa.PMADDWD, asm.R(isa.MM0), asm.R(isa.MM1))          // arith
+		b.I(isa.EMMS)                                             // emms
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))                  // scalar
+		b.I(isa.PROFOFF)
+		b.I(isa.HALT)
+	})
+	if rep.MMXMoves != 1 || rep.MMXPackUnpack != 1 || rep.MMXArithmetic != 2 || rep.MMXEmms != 1 {
+		t.Errorf("categories = mov %d, pack %d, arith %d, emms %d",
+			rep.MMXMoves, rep.MMXPackUnpack, rep.MMXArithmetic, rep.MMXEmms)
+	}
+	if rep.MMXInstructions() != 5 {
+		t.Errorf("MMX total = %d, want 5", rep.MMXInstructions())
+	}
+	wantPct := 100 * 5.0 / 6.0
+	if got := rep.PercentMMX(); got < wantPct-0.01 || got > wantPct+0.01 {
+		t.Errorf("%%MMX = %v, want %v", got, wantPct)
+	}
+	bd := rep.MMXBreakdown()
+	if bd[0]+bd[1]+bd[2]+bd[3] < 83 {
+		t.Errorf("breakdown sums to %v, want ~83.3", bd[0]+bd[1]+bd[2]+bd[3])
+	}
+	if got := rep.PackUnpackShareOfMMX(); got != 20 {
+		t.Errorf("pack share of MMX = %v, want 20", got)
+	}
+}
+
+func TestMemoryReferenceCounting(t *testing.T) {
+	rep := buildAndRun(t, func(b *asm.Builder) {
+		b.Dwords("v", []int32{1})
+		b.Proc("main")
+		b.I(isa.PROFON)
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, "v", 0)) // mem
+		b.I(isa.PUSH, asm.R(isa.EAX))                            // mem (stack)
+		b.I(isa.POP, asm.R(isa.EBX))                             // mem (stack)
+		b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EBX))             // not mem
+		b.I(isa.PROFOFF)
+		b.I(isa.HALT)
+	})
+	if rep.MemoryReferences != 3 {
+		t.Errorf("memrefs = %d, want 3", rep.MemoryReferences)
+	}
+	if got := rep.PercentMemRefs(); got != 75 {
+		t.Errorf("%%memrefs = %v, want 75", got)
+	}
+}
+
+func TestCallAccountingAndProcProfile(t *testing.T) {
+	rep := buildAndRun(t, func(b *asm.Builder) {
+		b.Proc("main")
+		b.I(isa.PROFON)
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(5))
+		b.Label("l")
+		b.I(isa.PUSH, asm.R(isa.ECX))
+		b.Call("leaf")
+		b.I(isa.POP, asm.R(isa.ECX))
+		b.I(isa.DEC, asm.R(isa.ECX))
+		b.J(isa.JNE, "l")
+		b.I(isa.PROFOFF)
+		b.I(isa.HALT)
+		b.Proc("leaf")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(3))
+		b.Label("spin")
+		b.I(isa.IMUL, asm.R(isa.EBX), asm.R(isa.EAX))
+		b.I(isa.DEC, asm.R(isa.EAX))
+		b.J(isa.JNE, "spin")
+		b.Ret()
+	})
+	if rep.Calls != 5 {
+		t.Errorf("calls = %d, want 5", rep.Calls)
+	}
+	if rep.CallRetCycleShare() <= 0 {
+		t.Error("call/ret share must be positive")
+	}
+	var names []string
+	for _, p := range rep.Procs {
+		names = append(names, p.Name)
+	}
+	if len(rep.Procs) != 2 {
+		t.Fatalf("procs = %v, want main and leaf", names)
+	}
+	if rep.Procs[0].Name != "leaf" {
+		t.Errorf("hottest proc = %s, want leaf (imul-heavy)", rep.Procs[0].Name)
+	}
+}
+
+func TestZeroRunReport(t *testing.T) {
+	rep := buildAndRun(t, func(b *asm.Builder) {
+		b.Proc("main")
+		b.I(isa.HALT) // nothing measured
+	})
+	if rep.DynamicInstructions != 0 || rep.Cycles != 0 {
+		t.Errorf("empty region: dyn %d cycles %d", rep.DynamicInstructions, rep.Cycles)
+	}
+	if rep.PercentMMX() != 0 || rep.PercentMemRefs() != 0 || rep.CallRetCycleShare() != 0 {
+		t.Error("percentages of an empty region must be 0 (no NaNs)")
+	}
+}
+
+func TestTracerAndTee(t *testing.T) {
+	b := asm.NewBuilder("trace-test")
+	b.Proc("main")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1)) // unmeasured
+	b.I(isa.PROFON)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(2))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(3))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(4))
+	b.I(isa.PROFOFF)
+	b.I(isa.HALT)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr := &Tracer{W: &buf, Limit: 2, MeasuredOnly: true}
+	col := NewCollector(p, pentium.New(pentium.DefaultConfig()))
+	c := vm.New(p)
+	c.Obs = Tee(col, tr)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if tr.Written() != 2 {
+		t.Errorf("tracer wrote %d lines, want 2 (limit)", tr.Written())
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("trace output:\n%s", out)
+	}
+	if !strings.Contains(out, "add eax, 2") {
+		t.Errorf("trace missing first measured instruction:\n%s", out)
+	}
+	if strings.Contains(out, "mov eax, 1") {
+		t.Errorf("trace must skip unmeasured instructions:\n%s", out)
+	}
+	// The collector behind the tee still counted everything.
+	if rep := col.Report("t"); rep.DynamicInstructions != 3 {
+		t.Errorf("collector behind tee counted %d", rep.DynamicInstructions)
+	}
+}

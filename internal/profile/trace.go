@@ -1,0 +1,54 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+
+	"mmxdsp/internal/vm"
+)
+
+// Tee fans retirement events out to several observers in order — e.g. a
+// Collector plus a Tracer.
+func Tee(obs ...vm.Observer) vm.Observer { return tee(obs) }
+
+type tee []vm.Observer
+
+func (t tee) Retire(ev vm.Event) {
+	for _, o := range t {
+		o.Retire(ev)
+	}
+}
+
+// Tracer writes a line per retired instruction (up to Limit; 0 = no limit)
+// to W — the "dynamic analysis" listing view of the profiler. If
+// MeasuredOnly is set, instructions outside the profon/profoff region are
+// skipped.
+type Tracer struct {
+	W            io.Writer
+	Limit        int
+	MeasuredOnly bool
+
+	written int
+}
+
+// Retire implements vm.Observer.
+func (t *Tracer) Retire(ev vm.Event) {
+	if t.Limit > 0 && t.written >= t.Limit {
+		return
+	}
+	if t.MeasuredOnly && !ev.Measured {
+		return
+	}
+	flags := ""
+	if ev.Taken {
+		flags = " taken"
+	}
+	if ev.MemPenalty > 0 {
+		flags += fmt.Sprintf(" +%dcy mem", ev.MemPenalty)
+	}
+	fmt.Fprintf(t.W, "%6d  %-40s%s\n", ev.PC, ev.Inst.String(), flags)
+	t.written++
+}
+
+// Written returns how many lines the tracer has emitted.
+func (t *Tracer) Written() int { return t.written }

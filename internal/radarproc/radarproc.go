@@ -1,0 +1,79 @@
+// Package radarproc implements the paper's Doppler radar processing
+// pipeline: subtract successive complex echoes to cancel stationary
+// clutter (a two-pulse MTI canceller), estimate the power spectrum of the
+// residue per range gate with a 16-point in-place radix-2 decimation-in-time
+// FFT, and estimate the dominant Doppler frequency from the spectral peak.
+package radarproc
+
+import (
+	"fmt"
+
+	"mmxdsp/internal/dsp"
+)
+
+// Params describes one processing batch.
+type Params struct {
+	Gates  int // range gates per echo (paper: 12)
+	FFTLen int // Doppler FFT length (paper: 16)
+}
+
+// Result is the per-gate detection output.
+type Result struct {
+	// PeakBin[g] is the Doppler bin with maximum power in gate g.
+	PeakBin []int
+	// PeakPower[g] is the power at that bin.
+	PeakPower []float64
+	// Frequency[g] is the estimated Doppler in cycles/pulse, in [-0.5, 0.5).
+	Frequency []float64
+}
+
+// Process runs the pipeline on echoes echo[pulse][gate] given as separate
+// real and imaginary planes. len(re) must be at least FFTLen+1 pulses: the
+// canceller consumes pulse pairs and the FFT needs FFTLen residues.
+func Process(p Params, re, im [][]float64) (*Result, error) {
+	if p.Gates <= 0 || p.FFTLen <= 0 || p.FFTLen&(p.FFTLen-1) != 0 {
+		return nil, fmt.Errorf("radarproc: bad params %+v", p)
+	}
+	if len(re) < p.FFTLen+1 || len(im) != len(re) {
+		return nil, fmt.Errorf("radarproc: need %d pulses, have %d", p.FFTLen+1, len(re))
+	}
+	res := &Result{
+		PeakBin:   make([]int, p.Gates),
+		PeakPower: make([]float64, p.Gates),
+		Frequency: make([]float64, p.Gates),
+	}
+	bufRe := make([]float64, p.FFTLen)
+	bufIm := make([]float64, p.FFTLen)
+	for g := 0; g < p.Gates; g++ {
+		// MTI canceller: residue[n] = echo[n+1] - echo[n].
+		for n := 0; n < p.FFTLen; n++ {
+			bufRe[n] = re[n+1][g] - re[n][g]
+			bufIm[n] = im[n+1][g] - im[n][g]
+		}
+		if err := dsp.FFT(bufRe, bufIm); err != nil {
+			return nil, err
+		}
+		ps := dsp.PowerSpectrum(bufRe, bufIm)
+		k := dsp.PeakIndex(ps)
+		res.PeakBin[g] = k
+		res.PeakPower[g] = ps[k]
+		f := float64(k) / float64(p.FFTLen)
+		if f >= 0.5 {
+			f -= 1
+		}
+		res.Frequency[g] = f
+	}
+	return res, nil
+}
+
+// StrongestGate returns the gate with the largest peak power — where the
+// moving target is.
+func (r *Result) StrongestGate() int {
+	best := 0
+	for g := range r.PeakPower {
+		if r.PeakPower[g] > r.PeakPower[best] {
+			best = g
+		}
+	}
+	return best
+}

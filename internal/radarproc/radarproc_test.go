@@ -1,0 +1,69 @@
+package radarproc
+
+import (
+	"math"
+	"testing"
+
+	"mmxdsp/internal/synth"
+)
+
+func TestDetectsMovingTarget(t *testing.T) {
+	p := synth.RadarParams{Gates: 12, Pulses: 17, Target: 7, Doppler: 0.25, Clutter: 0.8, Seed: 5}
+	re, im := synth.RadarEchoes(p)
+	res, err := Process(Params{Gates: 12, FFTLen: 16}, re, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.StrongestGate(); g != 7 {
+		t.Errorf("strongest gate = %d, want 7", g)
+	}
+	// Doppler 0.25 cycles/pulse -> bin 4 of 16.
+	if res.PeakBin[7] != 4 {
+		t.Errorf("peak bin = %d, want 4", res.PeakBin[7])
+	}
+	if math.Abs(res.Frequency[7]-0.25) > 1e-9 {
+		t.Errorf("frequency = %v, want 0.25", res.Frequency[7])
+	}
+}
+
+func TestNegativeDopplerWraps(t *testing.T) {
+	p := synth.RadarParams{Gates: 4, Pulses: 17, Target: 1, Doppler: -0.125, Clutter: 0.5, Seed: 8}
+	re, im := synth.RadarEchoes(p)
+	res, err := Process(Params{Gates: 4, FFTLen: 16}, re, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Frequency[1]-(-0.125)) > 1e-9 {
+		t.Errorf("frequency = %v, want -0.125", res.Frequency[1])
+	}
+}
+
+func TestClutterCancellation(t *testing.T) {
+	// Pure clutter, no target motion: every gate's residual power must be
+	// tiny compared to the raw clutter power.
+	p := synth.RadarParams{Gates: 6, Pulses: 17, Target: 0, Doppler: 0, Clutter: 0.9, Seed: 2}
+	re, im := synth.RadarEchoes(p)
+	res, err := Process(Params{Gates: 6, FFTLen: 16}, re, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 1; g < 6; g++ { // gate 0 holds the (stationary) "target"
+		if res.PeakPower[g] > 0.1 {
+			t.Errorf("gate %d residual power %g; clutter not cancelled", g, res.PeakPower[g])
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	re := make([][]float64, 3)
+	im := make([][]float64, 3)
+	if _, err := Process(Params{Gates: 4, FFTLen: 16}, re, im); err == nil {
+		t.Error("too few pulses must fail")
+	}
+	if _, err := Process(Params{Gates: 0, FFTLen: 16}, re, im); err == nil {
+		t.Error("zero gates must fail")
+	}
+	if _, err := Process(Params{Gates: 4, FFTLen: 15}, re, im); err == nil {
+		t.Error("non-power-of-two FFT must fail")
+	}
+}

@@ -1,0 +1,38 @@
+// Package suite assembles the complete benchmark registry: the four DSP
+// kernels and four applications of the paper's Table 1, in every version.
+package suite
+
+import (
+	"sort"
+
+	"mmxdsp/internal/apps"
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/kernels"
+)
+
+// All returns every benchmark, kernels first, stably ordered by name.
+func All() []core.Benchmark {
+	out := append(kernels.Benchmarks(), apps.Benchmarks()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ByName returns the benchmark with the given paper-style name (e.g.
+// "fft.mmx") and whether it exists.
+func ByName(name string) (core.Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name() == name {
+			return b, true
+		}
+	}
+	return core.Benchmark{}, false
+}
+
+// Names returns all program names in order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name())
+	}
+	return out
+}

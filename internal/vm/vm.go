@@ -1,0 +1,347 @@
+// Package vm executes linked Programs: an in-order fetch/decode/execute
+// interpreter over the simulated ISA with 8 general-purpose registers, the
+// MMX register file aliased onto the floating-point registers, IA-32 style
+// flags, and a call stack in simulated memory.
+//
+// The VM is purely architectural: it computes results and emits one Event
+// per retired instruction. Timing (pipeline pairing, latencies, branch and
+// cache penalties) is the concern of the observers in internal/pentium and
+// internal/profile, mirroring how VTune replayed an instruction stream
+// against a Pentium model.
+package vm
+
+import (
+	"fmt"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/mem"
+	"mmxdsp/internal/mmx"
+)
+
+// Event describes one retired instruction.
+type Event struct {
+	PC   int
+	Inst *isa.Inst
+	// Measured reports whether the instruction retired inside a
+	// profon/profoff region.
+	Measured bool
+	// Taken reports whether a branch/jump/call/ret transferred control.
+	Taken bool
+	// Target is the next PC after the instruction.
+	Target int
+	// MemPenalty is the extra cycles charged by the cache model for this
+	// instruction's data references.
+	MemPenalty int
+}
+
+// Observer receives retired-instruction events.
+type Observer interface {
+	Retire(ev Event)
+}
+
+// CPU is a machine instance executing one Program.
+type CPU struct {
+	Prog *asm.Program
+	Mem  *mem.Memory
+
+	gpr [8]uint32
+	mm  [8]mmx.Reg
+	fp  [8]float64
+
+	zf, sf, cf, of bool
+
+	pc        int
+	halted    bool
+	measuring bool
+	mmxActive bool
+
+	// Hier is the data-cache hierarchy; nil models perfect memory.
+	Hier *mem.Hierarchy
+	// Obs receives retirement events; nil disables observation.
+	Obs Observer
+
+	executed int64
+}
+
+// New builds a CPU for the program with its memory image loaded and the
+// stack pointer initialized.
+func New(p *asm.Program) *CPU {
+	c := &CPU{
+		Prog: p,
+		Mem:  mem.New(p.MemSize),
+		pc:   p.Entry,
+	}
+	c.Mem.WriteBytes(asm.DataBase, p.Data)
+	c.gpr[isa.ESP.GPRIndex()] = p.StackTop()
+	return c
+}
+
+// GPR returns the value of a general-purpose register.
+func (c *CPU) GPR(r isa.Reg) uint32 { return c.gpr[r.GPRIndex()] }
+
+// SetGPR sets a general-purpose register.
+func (c *CPU) SetGPR(r isa.Reg, v uint32) { c.gpr[r.GPRIndex()] = v }
+
+// MM returns the value of an MMX register.
+func (c *CPU) MM(r isa.Reg) mmx.Reg { return c.mm[r.MMXIndex()] }
+
+// FPReg returns the value of a floating-point register.
+func (c *CPU) FPReg(r isa.Reg) float64 { return c.fp[r.FPIndex()] }
+
+// Executed returns the number of retired instructions (including pseudo).
+func (c *CPU) Executed() int64 { return c.executed }
+
+// Halted reports whether the program executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// fault produces an execution error with context.
+func (c *CPU) fault(format string, args ...any) error {
+	in := "?"
+	if c.pc >= 0 && c.pc < len(c.Prog.Insts) {
+		in = c.Prog.Insts[c.pc].String()
+	}
+	return fmt.Errorf("vm(%s) pc=%d [%s]: %s", c.Prog.Name, c.pc, in,
+		fmt.Sprintf(format, args...))
+}
+
+// Run executes until HALT or until maxInstrs instructions have retired,
+// which guards against runaway programs.
+func (c *CPU) Run(maxInstrs int64) error {
+	for !c.halted {
+		if c.executed >= maxInstrs {
+			return c.fault("instruction budget of %d exceeded", maxInstrs)
+		}
+		if c.pc < 0 || c.pc >= len(c.Prog.Insts) {
+			return c.fault("control transferred outside program (pc=%d)", c.pc)
+		}
+		if err := c.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CPU) step() error {
+	pc := c.pc
+	in := &c.Prog.Insts[pc]
+	c.executed++
+
+	// Pseudo instructions manage the measured region and are invisible to
+	// the observers, matching how VTune's start/stop markers work.
+	switch in.Op {
+	case isa.NOP:
+		c.pc++
+		return nil
+	case isa.PROFON:
+		c.measuring = true
+		c.pc++
+		return nil
+	case isa.PROFOFF:
+		c.measuring = false
+		c.pc++
+		return nil
+	}
+
+	ev := Event{PC: pc, Inst: in, Measured: c.measuring}
+	var err error
+	switch {
+	case in.Op.IsMMX():
+		err = c.execMMX(in, &ev)
+	case in.Op.IsFP():
+		err = c.execFP(in, &ev)
+	default:
+		err = c.execInt(in, &ev)
+	}
+	if err != nil {
+		return err
+	}
+	if !ev.Taken {
+		c.pc++
+	}
+	ev.Target = c.pc
+	if c.Obs != nil {
+		c.Obs.Retire(ev)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Addressing and operand access
+
+func (c *CPU) effAddr(o isa.Operand) uint32 {
+	a := uint32(o.Disp)
+	if o.Reg != isa.NoReg {
+		a += c.gpr[o.Reg.GPRIndex()]
+	}
+	if o.Index != isa.NoReg {
+		s := uint32(o.Scale)
+		if s == 0 {
+			s = 1
+		}
+		a += c.gpr[o.Index.GPRIndex()] * s
+	}
+	return a
+}
+
+func (c *CPU) chargeAccess(addr uint32, ev *Event) {
+	ev.MemPenalty += c.Hier.Access(addr)
+}
+
+// loadSized reads a zero-extended value of the operand's size.
+func (c *CPU) loadSized(o isa.Operand, ev *Event) (uint32, error) {
+	addr := c.effAddr(o)
+	c.chargeAccess(addr, ev)
+	switch o.Size {
+	case isa.SizeB:
+		v, ok := c.Mem.LoadU8(addr)
+		if !ok {
+			return 0, c.fault("load byte out of range at %#x", addr)
+		}
+		return uint32(v), nil
+	case isa.SizeW:
+		v, ok := c.Mem.LoadU16(addr)
+		if !ok {
+			return 0, c.fault("load word out of range at %#x", addr)
+		}
+		return uint32(v), nil
+	case isa.SizeD, isa.SizeNone:
+		v, ok := c.Mem.LoadU32(addr)
+		if !ok {
+			return 0, c.fault("load dword out of range at %#x", addr)
+		}
+		return v, nil
+	}
+	return 0, c.fault("bad load size %v", o.Size)
+}
+
+func (c *CPU) storeSized(o isa.Operand, v uint32, ev *Event) error {
+	addr := c.effAddr(o)
+	c.chargeAccess(addr, ev)
+	var ok bool
+	switch o.Size {
+	case isa.SizeB:
+		ok = c.Mem.StoreU8(addr, uint8(v))
+	case isa.SizeW:
+		ok = c.Mem.StoreU16(addr, uint16(v))
+	case isa.SizeD, isa.SizeNone:
+		ok = c.Mem.StoreU32(addr, v)
+	default:
+		return c.fault("bad store size %v", o.Size)
+	}
+	if !ok {
+		return c.fault("store out of range at %#x", addr)
+	}
+	return nil
+}
+
+// readInt reads an integer operand value (register, immediate or memory).
+func (c *CPU) readInt(o isa.Operand, ev *Event) (uint32, error) {
+	switch o.Kind {
+	case isa.KindReg:
+		if !o.Reg.IsGPR() {
+			return 0, c.fault("integer read of non-GPR %s", o.Reg)
+		}
+		return c.gpr[o.Reg.GPRIndex()], nil
+	case isa.KindImm:
+		return uint32(o.Imm), nil
+	case isa.KindMem:
+		return c.loadSized(o, ev)
+	}
+	return 0, c.fault("missing operand")
+}
+
+// writeInt writes an integer result to a register or memory destination.
+func (c *CPU) writeInt(o isa.Operand, v uint32, ev *Event) error {
+	switch o.Kind {
+	case isa.KindReg:
+		if !o.Reg.IsGPR() {
+			return c.fault("integer write to non-GPR %s", o.Reg)
+		}
+		c.gpr[o.Reg.GPRIndex()] = v
+		return nil
+	case isa.KindMem:
+		return c.storeSized(o, v, ev)
+	}
+	return c.fault("bad destination operand")
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+
+func (c *CPU) setZS(v uint32) {
+	c.zf = v == 0
+	c.sf = int32(v) < 0
+}
+
+func (c *CPU) setAdd(a, b, r uint32) {
+	c.setZS(r)
+	c.cf = r < a
+	c.of = (a^r)&(b^r)&0x80000000 != 0
+}
+
+func (c *CPU) setSub(a, b, r uint32) {
+	c.setZS(r)
+	c.cf = a < b
+	c.of = (a^b)&(a^r)&0x80000000 != 0
+}
+
+func (c *CPU) setLogic(r uint32) {
+	c.setZS(r)
+	c.cf = false
+	c.of = false
+}
+
+func (c *CPU) cond(op isa.Op) bool {
+	switch op {
+	case isa.JE:
+		return c.zf
+	case isa.JNE:
+		return !c.zf
+	case isa.JL:
+		return c.sf != c.of
+	case isa.JLE:
+		return c.zf || c.sf != c.of
+	case isa.JG:
+		return !c.zf && c.sf == c.of
+	case isa.JGE:
+		return c.sf == c.of
+	case isa.JB:
+		return c.cf
+	case isa.JBE:
+		return c.cf || c.zf
+	case isa.JA:
+		return !c.cf && !c.zf
+	case isa.JAE:
+		return !c.cf
+	case isa.JS:
+		return c.sf
+	case isa.JNS:
+		return !c.sf
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Stack
+
+func (c *CPU) push32(v uint32, ev *Event) error {
+	sp := c.gpr[isa.ESP.GPRIndex()] - 4
+	c.gpr[isa.ESP.GPRIndex()] = sp
+	c.chargeAccess(sp, ev)
+	if !c.Mem.StoreU32(sp, v) {
+		return c.fault("stack overflow at %#x", sp)
+	}
+	return nil
+}
+
+func (c *CPU) pop32(ev *Event) (uint32, error) {
+	sp := c.gpr[isa.ESP.GPRIndex()]
+	c.chargeAccess(sp, ev)
+	v, ok := c.Mem.LoadU32(sp)
+	if !ok {
+		return 0, c.fault("stack underflow at %#x", sp)
+	}
+	c.gpr[isa.ESP.GPRIndex()] = sp + 4
+	return v, nil
+}

@@ -1,0 +1,448 @@
+package vm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+)
+
+// run assembles, runs and returns the CPU, failing the test on any error.
+func run(t *testing.T, build func(b *asm.Builder)) *CPU {
+	t.Helper()
+	b := asm.NewBuilder("test")
+	build(b)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoopSum(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(10))
+		b.Label("loop")
+		b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.ECX))
+		b.I(isa.DEC, asm.R(isa.ECX))
+		b.J(isa.JNE, "loop")
+		b.I(isa.HALT)
+	})
+	if got := c.GPR(isa.EAX); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestMemoryAndAddressing(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Dwords("arr", []int32{10, 20, 30, 40})
+		b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("arr", 0))
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(2))
+		// eax = arr[2] via [esi + ecx*4]
+		b.I(isa.MOV, asm.R(isa.EAX), asm.MemIdx(isa.SizeD, isa.ESI, isa.ECX, 4, 0))
+		// arr[3] = eax + 5
+		b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(5))
+		b.I(isa.MOV, asm.MemIdx(isa.SizeD, isa.ESI, isa.NoReg, 0, 12), asm.R(isa.EAX))
+		// lea edx, [esi + ecx*4 + 4]
+		b.I(isa.LEA, asm.R(isa.EDX), asm.MemIdx(isa.SizeD, isa.ESI, isa.ECX, 4, 4))
+		b.I(isa.HALT)
+	})
+	if got := c.GPR(isa.EAX); got != 35 {
+		t.Errorf("eax = %d, want 35", got)
+	}
+	arr := c.Prog.Addr("arr")
+	v, _ := c.Mem.LoadU32(arr + 12)
+	if v != 35 {
+		t.Errorf("arr[3] = %d, want 35", v)
+	}
+	if got := c.GPR(isa.EDX); got != arr+12 {
+		t.Errorf("lea = %#x, want %#x", got, arr+12)
+	}
+}
+
+func TestByteWordAccess(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Bytes("buf", []byte{0xFF, 0x80, 0x01, 0x00})
+		b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("buf", 0))
+		b.I(isa.MOVZXB, asm.R(isa.EAX), asm.MemB(isa.ESI, 0)) // 0xFF -> 255
+		b.I(isa.MOVSXB, asm.R(isa.EBX), asm.MemB(isa.ESI, 1)) // 0x80 -> -128
+		b.I(isa.MOVZXW, asm.R(isa.ECX), asm.MemW(isa.ESI, 0)) // 0x80FF
+		b.I(isa.MOVSXW, asm.R(isa.EDX), asm.MemW(isa.ESI, 0)) // sign-extended
+		b.I(isa.MOV, asm.MemB(isa.ESI, 3), asm.R(isa.EAX))    // store low byte
+		b.I(isa.HALT)
+	})
+	if c.GPR(isa.EAX) != 255 {
+		t.Errorf("movzxb = %d", c.GPR(isa.EAX))
+	}
+	if int32(c.GPR(isa.EBX)) != -128 {
+		t.Errorf("movsxb = %d", int32(c.GPR(isa.EBX)))
+	}
+	if c.GPR(isa.ECX) != 0x80FF {
+		t.Errorf("movzxw = %#x", c.GPR(isa.ECX))
+	}
+	w := uint16(0x80FF)
+	if int32(c.GPR(isa.EDX)) != int32(int16(w)) {
+		t.Errorf("movsxw = %d", int32(c.GPR(isa.EDX)))
+	}
+	v, _ := c.Mem.LoadU8(c.Prog.Addr("buf") + 3)
+	if v != 0xFF {
+		t.Errorf("byte store = %#x, want 0xff", v)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Proc("main")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(5))
+		b.I(isa.PUSH, asm.R(isa.EAX))
+		b.Call("double")
+		b.I(isa.POP, asm.R(isa.ECX)) // discard argument
+		b.I(isa.HALT)
+		b.Proc("double")
+		// arg at [esp+4] (above the return address)
+		b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.ESP, 4))
+		b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EAX))
+		b.Ret()
+	})
+	if got := c.GPR(isa.EAX); got != 10 {
+		t.Errorf("call result = %d, want 10", got)
+	}
+	if got := c.GPR(isa.ESP); got != c.Prog.StackTop() {
+		t.Errorf("esp = %#x, want %#x (balanced stack)", got, c.Prog.StackTop())
+	}
+}
+
+func TestSignedBranches(t *testing.T) {
+	// Computes max(-3, 7) using jg.
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(-3))
+		b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(7))
+		b.I(isa.CMP, asm.R(isa.EAX), asm.R(isa.EBX))
+		b.J(isa.JG, "done")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.EBX))
+		b.Label("done")
+		b.I(isa.HALT)
+	})
+	if got := int32(c.GPR(isa.EAX)); got != 7 {
+		t.Errorf("max = %d, want 7", got)
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	// 0xFFFFFFFF > 1 unsigned (ja), but < 0 signed.
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(-1)) // 0xFFFFFFFF
+		b.I(isa.CMP, asm.R(isa.EAX), asm.Imm(1))
+		b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(0))
+		b.J(isa.JA, "above")
+		b.J(isa.JMP, "done")
+		b.Label("above")
+		b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(1))
+		b.Label("done")
+		b.I(isa.HALT)
+	})
+	if c.GPR(isa.EBX) != 1 {
+		t.Error("ja must treat 0xFFFFFFFF as above 1")
+	}
+}
+
+func TestMulDivCdq(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(-7))
+		b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(13))
+		b.I(isa.IMUL, asm.R(isa.EBX), asm.R(isa.EAX)) // ebx = -91
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(-100))
+		b.I(isa.CDQ)
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(7))
+		b.I(isa.IDIV, asm.R(isa.ECX)) // eax = -14, edx = -2
+		b.I(isa.HALT)
+	})
+	if got := int32(c.GPR(isa.EBX)); got != -91 {
+		t.Errorf("imul = %d, want -91", got)
+	}
+	if got := int32(c.GPR(isa.EAX)); got != -14 {
+		t.Errorf("idiv quotient = %d, want -14", got)
+	}
+	if got := int32(c.GPR(isa.EDX)); got != -2 {
+		t.Errorf("idiv remainder = %d, want -2", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(-8))
+		b.I(isa.SAR, asm.R(isa.EAX), asm.Imm(1)) // -4
+		b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(-8))
+		b.I(isa.SHR, asm.R(isa.EBX), asm.Imm(28)) // 0xF
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(3))
+		b.I(isa.SHL, asm.R(isa.ECX), asm.Imm(4)) // 48
+		b.I(isa.HALT)
+	})
+	if int32(c.GPR(isa.EAX)) != -4 {
+		t.Errorf("sar = %d", int32(c.GPR(isa.EAX)))
+	}
+	if c.GPR(isa.EBX) != 0xF {
+		t.Errorf("shr = %#x", c.GPR(isa.EBX))
+	}
+	if c.GPR(isa.ECX) != 48 {
+		t.Errorf("shl = %d", c.GPR(isa.ECX))
+	}
+}
+
+func TestMMXVectorAdd(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Words("x", []int16{1, 2, 3, 4, 30000, -30000, 5, 6})
+		b.Words("y", []int16{10, 20, 30, 40, 10000, -10000, 7, 8})
+		b.Reserve("out", 16)
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.Sym(isa.SizeQ, "x", 0))
+		b.I(isa.PADDW, asm.R(isa.MM0), asm.Sym(isa.SizeQ, "y", 0))
+		b.I(isa.MOVQ, asm.Sym(isa.SizeQ, "out", 0), asm.R(isa.MM0))
+		b.I(isa.MOVQ, asm.R(isa.MM1), asm.Sym(isa.SizeQ, "x", 8))
+		b.I(isa.PADDSW, asm.R(isa.MM1), asm.Sym(isa.SizeQ, "y", 8))
+		b.I(isa.MOVQ, asm.Sym(isa.SizeQ, "out", 8), asm.R(isa.MM1))
+		b.I(isa.EMMS)
+		b.I(isa.HALT)
+	})
+	out, _ := c.Mem.ReadInt16s(c.Prog.Addr("out"), 8)
+	want := []int16{11, 22, 33, 44, 32767, -32768, 12, 14}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMMXDotProductPmaddwd(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Words("x", []int16{1, 2, 3, 4})
+		b.Words("y", []int16{5, 6, 7, 8})
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.Sym(isa.SizeQ, "x", 0))
+		b.I(isa.PMADDWD, asm.R(isa.MM0), asm.Sym(isa.SizeQ, "y", 0))
+		// Horizontal add of the two dwords: copy, shift, add.
+		b.I(isa.MOVQ, asm.R(isa.MM1), asm.R(isa.MM0))
+		b.I(isa.PSRLQ, asm.R(isa.MM1), asm.Imm(32))
+		b.I(isa.PADDD, asm.R(isa.MM0), asm.R(isa.MM1))
+		b.I(isa.MOVD, asm.R(isa.EAX), asm.R(isa.MM0))
+		b.I(isa.EMMS)
+		b.I(isa.HALT)
+	})
+	if got := int32(c.GPR(isa.EAX)); got != 70 {
+		t.Errorf("dot product = %d, want 70", got)
+	}
+}
+
+func TestMMXShiftByRegisterAndImm(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Words("x", []int16{-4, 8, -16, 32})
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.Sym(isa.SizeQ, "x", 0))
+		b.I(isa.PSRAW, asm.R(isa.MM0), asm.Imm(2))
+		b.I(isa.MOVD, asm.R(isa.ECX), asm.R(isa.MM0)) // low 2 words
+		b.I(isa.EMMS)
+		b.I(isa.HALT)
+	})
+	lo := c.GPR(isa.ECX)
+	if int16(lo) != -1 || int16(lo>>16) != 2 {
+		t.Errorf("psraw lanes = %d, %d; want -1, 2", int16(lo), int16(lo>>16))
+	}
+}
+
+func TestFPArithmetic(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Doubles("a", []float64{1.5})
+		b.Floats("f", []float32{2.25})
+		b.Reserve("out", 8)
+		b.Reserve("outw", 8)
+		b.I(isa.FLD, asm.R(isa.FP0), asm.Sym(isa.SizeQ, "a", 0))
+		b.I(isa.FADD, asm.R(isa.FP0), asm.Sym(isa.SizeD, "f", 0)) // 3.75
+		b.I(isa.FLDC, asm.R(isa.FP1), asm.Imm(int64(math.Float64bits(2.0))))
+		b.I(isa.FMUL, asm.R(isa.FP0), asm.R(isa.FP1)) // 7.5
+		b.I(isa.FST, asm.Sym(isa.SizeQ, "out", 0), asm.R(isa.FP0))
+		b.I(isa.FIST, asm.Sym(isa.SizeW, "outw", 0), asm.R(isa.FP0)) // rounds to 8
+		b.I(isa.HALT)
+	})
+	raw, _ := c.Mem.LoadU64(c.Prog.Addr("out"))
+	if got := math.Float64frombits(raw); got != 7.5 {
+		t.Errorf("fp result = %v, want 7.5", got)
+	}
+	w, _ := c.Mem.ReadInt16s(c.Prog.Addr("outw"), 1)
+	if w[0] != 8 {
+		t.Errorf("fist = %d, want 8 (round half to even)", w[0])
+	}
+}
+
+func TestFILDAndFCOM(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.Words("n", []int16{-42})
+		b.I(isa.FILD, asm.R(isa.FP0), asm.Sym(isa.SizeW, "n", 0))
+		b.I(isa.FLDC, asm.R(isa.FP1), asm.Imm(int64(math.Float64bits(0))))
+		b.I(isa.FCOM, asm.R(isa.FP0), asm.R(isa.FP1))
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0))
+		b.J(isa.JAE, "done") // fp0 < fp1 sets CF, so jae falls through
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1))
+		b.Label("done")
+		b.I(isa.HALT)
+	})
+	if c.GPR(isa.EAX) != 1 {
+		t.Error("fcom: -42 < 0 must set the below flag")
+	}
+}
+
+func TestFPAfterMMXWithoutEmmsFaults(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.I(isa.PXOR, asm.R(isa.MM0), asm.R(isa.MM0))
+	b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP0))
+	b.I(isa.HALT)
+	c := New(b.MustLink())
+	err := c.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "emms") {
+		t.Errorf("want missing-emms fault, got %v", err)
+	}
+}
+
+func TestFPAfterEmmsOK(t *testing.T) {
+	run(t, func(b *asm.Builder) {
+		b.I(isa.PXOR, asm.R(isa.MM0), asm.R(isa.MM0))
+		b.I(isa.EMMS)
+		b.I(isa.FADD, asm.R(isa.FP0), asm.R(isa.FP0))
+		b.I(isa.HALT)
+	})
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1))
+	b.I(isa.CDQ)
+	b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(0))
+	b.I(isa.IDIV, asm.R(isa.EBX))
+	b.I(isa.HALT)
+	c := New(b.MustLink())
+	if err := c.Run(100); err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Errorf("want divide-by-zero fault, got %v", err)
+	}
+}
+
+func TestOutOfRangeAccessFaults(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.I(isa.MOV, asm.R(isa.ESI), asm.Imm(-8)) // huge unsigned address
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.ESI, 0))
+	b.I(isa.HALT)
+	c := New(b.MustLink())
+	if err := c.Run(100); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("want out-of-range fault, got %v", err)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Label("spin")
+	b.J(isa.JMP, "spin")
+	c := New(b.MustLink())
+	if err := c.Run(1000); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("want budget fault, got %v", err)
+	}
+}
+
+// recorder captures events for observer tests.
+type recorder struct{ evs []Event }
+
+func (r *recorder) Retire(ev Event) { r.evs = append(r.evs, ev) }
+
+func TestProfRegionMarksEvents(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1)) // unmeasured
+	b.I(isa.PROFON)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(2)) // measured
+	b.I(isa.PROFOFF)
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(3)) // unmeasured
+	b.I(isa.HALT)
+	c := New(b.MustLink())
+	rec := &recorder{}
+	c.Obs = rec
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Events: mov, add, add, halt (pseudo ops emit no events).
+	if len(rec.evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(rec.evs))
+	}
+	if rec.evs[0].Measured || !rec.evs[1].Measured || rec.evs[2].Measured {
+		t.Errorf("measured flags wrong: %v %v %v",
+			rec.evs[0].Measured, rec.evs[1].Measured, rec.evs[2].Measured)
+	}
+	if c.GPR(isa.EAX) != 6 {
+		t.Errorf("eax = %d, want 6", c.GPR(isa.EAX))
+	}
+}
+
+func TestBranchEventTaken(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(2))
+	b.Label("loop")
+	b.I(isa.DEC, asm.R(isa.ECX))
+	b.J(isa.JNE, "loop")
+	b.I(isa.HALT)
+	c := New(b.MustLink())
+	rec := &recorder{}
+	c.Obs = rec
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	var taken, notTaken int
+	for _, ev := range rec.evs {
+		if ev.Inst.Op == isa.JNE {
+			if ev.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken != 1 || notTaken != 1 {
+		t.Errorf("taken=%d notTaken=%d, want 1 and 1", taken, notTaken)
+	}
+}
+
+func TestNegNotIncFlags(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(5))
+		b.I(isa.NEG, asm.R(isa.EAX)) // -5
+		b.I(isa.NOT, asm.R(isa.EAX)) // 4
+		b.I(isa.HALT)
+	})
+	if got := int32(c.GPR(isa.EAX)); got != 4 {
+		t.Errorf("neg/not = %d, want 4", got)
+	}
+}
+
+func TestXchg(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1))
+		b.I(isa.MOV, asm.R(isa.EBX), asm.Imm(2))
+		b.I(isa.XCHG, asm.R(isa.EAX), asm.R(isa.EBX))
+		b.I(isa.HALT)
+	})
+	if c.GPR(isa.EAX) != 2 || c.GPR(isa.EBX) != 1 {
+		t.Errorf("xchg: eax=%d ebx=%d", c.GPR(isa.EAX), c.GPR(isa.EBX))
+	}
+}
+
+func TestMovdDirections(t *testing.T) {
+	c := run(t, func(b *asm.Builder) {
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(0x12345678))
+		b.I(isa.MOVD, asm.R(isa.MM0), asm.R(isa.EAX))
+		b.I(isa.PSLLQ, asm.R(isa.MM0), asm.Imm(8))
+		b.I(isa.MOVD, asm.R(isa.EBX), asm.R(isa.MM0))
+		b.I(isa.EMMS)
+		b.I(isa.HALT)
+	})
+	if c.GPR(isa.EBX) != 0x34567800 {
+		t.Errorf("movd round trip = %#x, want 0x34567800", c.GPR(isa.EBX))
+	}
+}
