@@ -143,6 +143,41 @@ func BenchmarkKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteSequential runs the full 19-program suite on one worker —
+// the baseline for the parallel-runner speedup.
+func BenchmarkSuiteSequential(b *testing.B) {
+	benches := suite.All()
+	opt := defaultOpt()
+	opt.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		rs, err := core.RunAll(benches, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(core.Stats(rs).Instructions), "suite_instrs")
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the same suite on the bounded worker pool
+// (one worker per core). Comparing ns/op against BenchmarkSuiteSequential
+// gives the suite wall-time speedup recorded in EXPERIMENTS.md.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benches := suite.All()
+	opt := defaultOpt()
+	opt.Parallelism = 0 // auto: GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		rs, err := core.RunAll(benches, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(core.Stats(rs).Instructions), "suite_instrs")
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ----------------------------------------------
 
 // ablateOpt returns options with one timing-model change.
@@ -150,7 +185,7 @@ func ablateOpt(change func(*pentium.Config)) core.Options {
 	o := defaultOpt()
 	cfg := pentium.DefaultConfig()
 	change(&cfg)
-	o.Pentium = cfg
+	o.Pentium = &cfg
 	return o
 }
 

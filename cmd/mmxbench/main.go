@@ -8,16 +8,19 @@
 //	mmxbench -only fft,image  # restrict to some benchmark families
 //	mmxbench -table3 -csv     # one artifact, machine-readable
 //	mmxbench -skip-check      # skip output validation (faster)
+//	mmxbench -j 0             # run benchmarks in parallel (0 = all cores)
 //	mmxbench -emms 0          # ablation: free emms
 //	mmxbench -mmxmul 10       # ablation: unpipelined 10-cycle MMX multiplier
 //	mmxbench -perfect-cache   # ablation: no cache penalties
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mmxdsp/internal/core"
 	"mmxdsp/internal/pentium"
@@ -39,6 +42,7 @@ func main() {
 
 		only      = flag.String("only", "", "comma-separated benchmark families (e.g. fft,image)")
 		skipCheck = flag.Bool("skip-check", false, "skip output validation")
+		jobs      = flag.Int("j", 0, "parallel benchmark runs (0 = one per core)")
 
 		perfectCache = flag.Bool("perfect-cache", false, "ablation: disable the cache model")
 		noPairing    = flag.Bool("no-pairing", false, "ablation: disable dual issue")
@@ -58,7 +62,7 @@ func main() {
 	cfg.DisableBTB = *noBTB
 	cfg.EmmsLatency = *emms
 	cfg.MMXMulLatency = *mmxMul
-	opt.Pentium = cfg
+	opt.Pentium = &cfg
 
 	benches := suite.All()
 	if *only != "" {
@@ -79,19 +83,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	rs := core.ResultSet{}
-	for _, b := range benches {
-		fmt.Fprintf(os.Stderr, "running %-12s ...", b.Name())
-		r, err := core.Run(b, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, " FAILED\nmmxbench: %v\n", err)
-			os.Exit(1)
+	opt.Parallelism = *jobs
+	opt.Progress = func(st core.RunStatus) {
+		if st.Err != nil {
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %-12s FAILED: %v\n",
+				st.Done, st.Total, st.Benchmark.Name(), st.Err)
+			return
 		}
-		fmt.Fprintf(os.Stderr, " %12d cycles, %10d instructions\n",
-			r.Report.Cycles, r.Report.DynamicInstructions)
-		rs[b.Name()] = r
+		fmt.Fprintf(os.Stderr, "[%2d/%d] %-12s %12d cycles, %10d instructions  (%6.0f ms, %5.1f M instr/s)\n",
+			st.Done, st.Total, st.Benchmark.Name(),
+			st.Result.Report.Cycles, st.Result.Report.DynamicInstructions,
+			float64(st.Result.Wall.Microseconds())/1000, st.Result.InstrsPerSec()/1e6)
 	}
-	fmt.Fprintln(os.Stderr)
+
+	start := time.Now()
+	rs, err := core.RunAll(benches, opt)
+	elapsed := time.Since(start)
+	stats := core.Stats(rs)
+	fmt.Fprintf(os.Stderr, "suite: %d programs, %d instructions in %.2fs wall (%.1f M instr/s aggregate)\n\n",
+		stats.Programs, stats.Instructions, elapsed.Seconds(), stats.InstrsPerSec()/1e6)
+	if err != nil {
+		// Failures are aggregated; tables below still cover the programs
+		// that succeeded.
+		var runErr *core.RunError
+		if errors.As(err, &runErr) {
+			fmt.Fprintf(os.Stderr, "mmxbench: %v\n", runErr)
+		} else {
+			fmt.Fprintf(os.Stderr, "mmxbench: %v\n", err)
+		}
+		defer os.Exit(1)
+	}
 
 	show := func(enabled bool, text string) {
 		if all || enabled {

@@ -58,6 +58,8 @@ func main() {
 	rep := res.Report
 
 	fmt.Printf("Program %s — %s\n\n", rep.Name, bench.Descr)
+	fmt.Printf("Host simulation:       %12.1f ms wall, %.1f M instr/s\n",
+		float64(res.Wall.Microseconds())/1000, res.InstrsPerSec()/1e6)
 	fmt.Printf("Clock cycles:          %12d\n", rep.Cycles)
 	fmt.Printf("Dynamic instructions:  %12d\n", rep.DynamicInstructions)
 	fmt.Printf("Dynamic micro-ops:     %12d (Pentium II decode)\n", rep.Uops)

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"mmxdsp/internal/asm"
 	"mmxdsp/internal/mem"
@@ -47,36 +48,63 @@ func (b Benchmark) Name() string { return b.Base + "." + b.Version }
 
 // Options configures a run.
 type Options struct {
-	// Pentium is the timing-model configuration; the zero value is
-	// upgraded to pentium.DefaultConfig().
-	Pentium pentium.Config
+	// Pentium is the timing-model configuration. nil selects
+	// pentium.DefaultConfig(); a non-nil config is used verbatim, so an
+	// all-zero ablation config (free emms, ISA-default everything else)
+	// is honored rather than silently replaced by the defaults.
+	Pentium *pentium.Config
 	// PerfectCache disables the cache model (ablation).
 	PerfectCache bool
-	// MaxInstrs bounds execution; 0 selects a generous default.
+	// MaxInstrs bounds execution; 0 selects a generous default and
+	// negative values are rejected by Run.
 	MaxInstrs int64
 	// SkipCheck skips output validation.
 	SkipCheck bool
 	// Trace, when non-nil, receives a line per retired measured
-	// instruction, up to TraceLimit lines (0 = unlimited).
+	// instruction, up to TraceLimit lines (0 = unlimited). A write error
+	// stops tracing and fails the run. Tracing forces RunAll sequential.
 	Trace      io.Writer
 	TraceLimit int
+	// Parallelism bounds the RunAll worker pool; 0 (or negative) selects
+	// runtime.GOMAXPROCS(0). Run ignores it.
+	Parallelism int
+	// Progress, when non-nil, is invoked by RunAll as each benchmark
+	// retires (in completion order, serialized). Run ignores it.
+	Progress func(RunStatus)
 }
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options {
-	return Options{Pentium: pentium.DefaultConfig()}
+	cfg := pentium.DefaultConfig()
+	return Options{Pentium: &cfg}
 }
 
 // Result is the outcome of one benchmark run.
 type Result struct {
 	Benchmark Benchmark
 	Report    *profile.Report
+	// Wall is how long the simulation took on the host, measured around
+	// the VM run only (not Build or Check).
+	Wall time.Duration
+}
+
+// InstrsPerSec returns the host simulation throughput in retired
+// (measured-region) instructions per wall-clock second.
+func (r *Result) InstrsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Report.DynamicInstructions) / r.Wall.Seconds()
 }
 
 // Run builds, executes, profiles and validates one benchmark.
 func Run(b Benchmark, opt Options) (*Result, error) {
-	if opt.Pentium == (pentium.Config{}) {
-		opt.Pentium = pentium.DefaultConfig()
+	cfg := pentium.DefaultConfig()
+	if opt.Pentium != nil {
+		cfg = *opt.Pentium
+	}
+	if opt.MaxInstrs < 0 {
+		return nil, fmt.Errorf("core: run %s: negative MaxInstrs %d", b.Name(), opt.MaxInstrs)
 	}
 	if opt.MaxInstrs == 0 {
 		opt.MaxInstrs = 1 << 31
@@ -85,19 +113,27 @@ func Run(b Benchmark, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", b.Name(), err)
 	}
-	model := pentium.New(opt.Pentium)
+	model := pentium.New(cfg)
 	col := profile.NewCollector(prog, model)
 	cpu := vm.New(prog)
 	cpu.Obs = col
+	var tracer *profile.Tracer
 	if opt.Trace != nil {
-		cpu.Obs = profile.Tee(col,
-			&profile.Tracer{W: opt.Trace, Limit: opt.TraceLimit, MeasuredOnly: true})
+		tracer = &profile.Tracer{W: opt.Trace, Limit: opt.TraceLimit, MeasuredOnly: true}
+		cpu.Obs = profile.Tee(col, tracer)
 	}
 	if !opt.PerfectCache {
 		cpu.Hier = mem.NewHierarchy()
 	}
+	start := time.Now()
 	if err := cpu.Run(opt.MaxInstrs); err != nil {
 		return nil, fmt.Errorf("core: run %s: %w", b.Name(), err)
+	}
+	wall := time.Since(start)
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			return nil, fmt.Errorf("core: trace %s: %w", b.Name(), err)
+		}
 	}
 	if b.Check != nil && !opt.SkipCheck {
 		if err := b.Check(cpu); err != nil {
@@ -110,18 +146,5 @@ func Run(b Benchmark, opt Options) (*Result, error) {
 		rep.L1Misses = cpu.Hier.Stats.L1Misses
 		rep.L2Misses = cpu.Hier.Stats.L2Misses
 	}
-	return &Result{Benchmark: b, Report: rep}, nil
-}
-
-// RunAll runs every benchmark, returning results keyed by program name.
-func RunAll(benches []Benchmark, opt Options) (map[string]*Result, error) {
-	out := make(map[string]*Result, len(benches))
-	for _, b := range benches {
-		r, err := Run(b, opt)
-		if err != nil {
-			return nil, err
-		}
-		out[b.Name()] = r
-	}
-	return out, nil
+	return &Result{Benchmark: b, Report: rep, Wall: wall}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"mmxdsp/internal/asm"
@@ -255,3 +256,24 @@ func TestProcAttribution(t *testing.T) {
 		t.Errorf("call/ret share = %.2f%%, want a small positive share", rep.CallRetCycleShare())
 	}
 }
+
+// TestTraceWriteFailureSurfaces: a broken -trace destination must fail the
+// run loudly (the tracer latches the error) instead of silently producing
+// a truncated listing.
+func TestTraceWriteFailureSurfaces(t *testing.T) {
+	cb, _ := testBenches(64)
+	opt := DefaultOptions()
+	opt.SkipCheck = true
+	opt.Trace = brokenWriter{}
+	_, err := Run(cb, opt)
+	if err == nil {
+		t.Fatal("run with a broken trace writer must fail")
+	}
+	if !strings.Contains(err.Error(), "trace") {
+		t.Errorf("error should identify the trace stage: %v", err)
+	}
+}
+
+type brokenWriter struct{}
+
+func (brokenWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }

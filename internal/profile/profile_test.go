@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -214,5 +215,55 @@ func TestTracerAndTee(t *testing.T) {
 	// The collector behind the tee still counted everything.
 	if rep := col.Report("t"); rep.DynamicInstructions != 3 {
 		t.Errorf("collector behind tee counted %d", rep.DynamicInstructions)
+	}
+}
+
+// failAfterWriter fails every write after the first n.
+type failAfterWriter struct {
+	n      int
+	writes int
+	failed int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.writes >= w.n {
+		w.failed++
+		return 0, fmt.Errorf("writer closed")
+	}
+	w.writes++
+	return len(p), nil
+}
+
+func TestTracerStopsOnWriteError(t *testing.T) {
+	b := asm.NewBuilder("trace-err-test")
+	b.Proc("main")
+	b.I(isa.PROFON)
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(1000))
+	b.Label("spin")
+	b.I(isa.DEC, asm.R(isa.ECX))
+	b.J(isa.JNE, "spin")
+	b.I(isa.PROFOFF)
+	b.I(isa.HALT)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &failAfterWriter{n: 3}
+	tr := &Tracer{W: w, MeasuredOnly: true}
+	c := vm.New(p)
+	c.Obs = tr
+	if err := c.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Err() == nil {
+		t.Fatal("tracer must surface the write error")
+	}
+	if tr.Written() != 3 {
+		t.Errorf("written = %d, want 3 (successful writes only)", tr.Written())
+	}
+	// The error latches: the ~2000 retirements after the failure must not
+	// keep hammering the broken writer.
+	if w.failed != 1 {
+		t.Errorf("writer saw %d failed writes after the first error, want 1", w.failed)
 	}
 }

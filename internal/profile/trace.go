@@ -22,17 +22,23 @@ func (t tee) Retire(ev vm.Event) {
 // Tracer writes a line per retired instruction (up to Limit; 0 = no limit)
 // to W — the "dynamic analysis" listing view of the profiler. If
 // MeasuredOnly is set, instructions outside the profon/profoff region are
-// skipped.
+// skipped. The first write error latches: the tracer stops formatting and
+// emitting entirely (instead of spinning through millions of retirements
+// against a broken writer) and reports the error via Err.
 type Tracer struct {
 	W            io.Writer
 	Limit        int
 	MeasuredOnly bool
 
 	written int
+	err     error
 }
 
 // Retire implements vm.Observer.
 func (t *Tracer) Retire(ev vm.Event) {
+	if t.err != nil {
+		return
+	}
 	if t.Limit > 0 && t.written >= t.Limit {
 		return
 	}
@@ -46,9 +52,16 @@ func (t *Tracer) Retire(ev vm.Event) {
 	if ev.MemPenalty > 0 {
 		flags += fmt.Sprintf(" +%dcy mem", ev.MemPenalty)
 	}
-	fmt.Fprintf(t.W, "%6d  %-40s%s\n", ev.PC, ev.Inst.String(), flags)
+	if _, err := fmt.Fprintf(t.W, "%6d  %-40s%s\n", ev.PC, ev.Inst.String(), flags); err != nil {
+		t.err = err
+		return
+	}
 	t.written++
 }
 
-// Written returns how many lines the tracer has emitted.
+// Written returns how many lines the tracer has successfully emitted.
 func (t *Tracer) Written() int { return t.written }
+
+// Err returns the first write error, or nil. Once non-nil, the tracer has
+// stopped emitting.
+func (t *Tracer) Err() error { return t.err }

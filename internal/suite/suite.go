@@ -1,38 +1,63 @@
 // Package suite assembles the complete benchmark registry: the four DSP
 // kernels and four applications of the paper's Table 1, in every version.
+//
+// The registry is built once, behind a sync.Once, and every accessor hands
+// out copies — safe to call from the concurrent suite runner and immune to
+// caller mutation.
 package suite
 
 import (
 	"sort"
+	"sync"
 
 	"mmxdsp/internal/apps"
 	"mmxdsp/internal/core"
 	"mmxdsp/internal/kernels"
 )
 
-// All returns every benchmark, kernels first, stably ordered by name.
+var registry struct {
+	once   sync.Once
+	all    []core.Benchmark          // sorted by name
+	byName map[string]core.Benchmark // keyed by paper-style name
+	names  []string                  // sorted program names
+}
+
+func build() {
+	registry.once.Do(func() {
+		all := append(kernels.Benchmarks(), apps.Benchmarks()...)
+		sort.Slice(all, func(i, j int) bool { return all[i].Name() < all[j].Name() })
+		byName := make(map[string]core.Benchmark, len(all))
+		names := make([]string, len(all))
+		for i, b := range all {
+			byName[b.Name()] = b
+			names[i] = b.Name()
+		}
+		registry.all, registry.byName, registry.names = all, byName, names
+	})
+}
+
+// All returns every benchmark, stably ordered by name. The slice is a
+// fresh copy; the Benchmark values share only immutable data (strings and
+// stateless Build/Check functions).
 func All() []core.Benchmark {
-	out := append(kernels.Benchmarks(), apps.Benchmarks()...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	build()
+	out := make([]core.Benchmark, len(registry.all))
+	copy(out, registry.all)
 	return out
 }
 
 // ByName returns the benchmark with the given paper-style name (e.g.
 // "fft.mmx") and whether it exists.
 func ByName(name string) (core.Benchmark, bool) {
-	for _, b := range All() {
-		if b.Name() == name {
-			return b, true
-		}
-	}
-	return core.Benchmark{}, false
+	build()
+	b, ok := registry.byName[name]
+	return b, ok
 }
 
-// Names returns all program names in order.
+// Names returns all program names in order. The slice is a fresh copy.
 func Names() []string {
-	var out []string
-	for _, b := range All() {
-		out = append(out, b.Name())
-	}
+	build()
+	out := make([]string, len(registry.names))
+	copy(out, registry.names)
 	return out
 }

@@ -2,6 +2,7 @@ package suite
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"mmxdsp/internal/core"
@@ -79,4 +80,47 @@ func TestEveryProgramAssembles(t *testing.T) {
 			t.Errorf("%s: no MMX instructions in listing", bench.Name())
 		}
 	}
+}
+
+// TestRegistryMemoizationAndDefensiveCopies pins the registry rework: the
+// sorted slice is built once, and every accessor returns copies the caller
+// can mutate freely.
+func TestRegistryMemoizationAndDefensiveCopies(t *testing.T) {
+	a, b := All(), All()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("All() sizes: %d vs %d", len(a), len(b))
+	}
+	// Mutating a returned slice must not leak into the registry.
+	a[0] = core.Benchmark{Base: "clobbered", Version: "x"}
+	if All()[0].Base == "clobbered" {
+		t.Error("All() exposed the shared registry slice")
+	}
+	names := Names()
+	names[0] = "clobbered"
+	if Names()[0] == "clobbered" {
+		t.Error("Names() exposed the shared registry slice")
+	}
+	// ByName is a map lookup over the same memoized registry.
+	if _, ok := ByName("clobbered"); ok {
+		t.Error("registry contaminated by caller mutation")
+	}
+}
+
+// TestRegistryConcurrentAccess exercises first-touch memoization and all
+// accessors from many goroutines (meaningful under -race).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if len(All()) == 0 || len(Names()) == 0 {
+				t.Error("empty registry")
+			}
+			if _, ok := ByName("fft.mmx"); !ok {
+				t.Error("fft.mmx missing")
+			}
+		}()
+	}
+	wg.Wait()
 }

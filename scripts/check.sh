@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# check.sh — the repo's `make check` equivalent: everything CI (and a
+# pre-commit run) needs, in dependency order. Fast failures first.
+#
+#   scripts/check.sh          # full gate
+#   scripts/check.sh -short   # pass flags through to `go test ./...`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./... $*"
+go test "$@" ./...
+
+# The concurrent suite runner and the memoized registry are the only
+# goroutine-bearing code; exercise them under the race detector.
+echo "==> go test -race ./internal/core/... ./internal/suite/..."
+go test -race ./internal/core/... ./internal/suite/...
+
+echo "OK"
