@@ -12,13 +12,20 @@
 //	mmxbench -emms 0          # ablation: free emms
 //	mmxbench -mmxmul 10       # ablation: unpipelined 10-cycle MMX multiplier
 //	mmxbench -perfect-cache   # ablation: no cache penalties
+//	mmxbench -bench-json BENCH_interp.json   # per-program host throughput
+//	mmxbench -cpuprofile cpu.pprof -memprofile mem.pprof   # profile the simulator
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -49,8 +56,26 @@ func main() {
 		noBTB        = flag.Bool("no-btb", false, "ablation: disable branch prediction")
 		emms         = flag.Int("emms", -1, "override emms latency (cycles; -1 = default 50)")
 		mmxMul       = flag.Int("mmxmul", 0, "override MMX multiplier latency (0 = default pipelined 3)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
+		benchJSON  = flag.String("bench-json", "", "write per-program host throughput (JSON) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmxbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmxbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	all := !(*table1 || *table2 || *table3 || *fig1a || *fig1b || *fig2a || *fig2b || *notes)
 
@@ -114,6 +139,26 @@ func main() {
 		defer os.Exit(1)
 	}
 
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, rs, elapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "mmxbench: -bench-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmxbench: -memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmxbench: -memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+
 	show := func(enabled bool, text string) {
 		if all || enabled {
 			fmt.Println(text)
@@ -136,4 +181,61 @@ func main() {
 	show(*fig2a, core.Fig2a(rs))
 	show(*fig2b, core.Fig2b(rs))
 	show(*notes, core.Notes(rs))
+}
+
+// benchRecord is one program's host-side throughput measurement.
+type benchRecord struct {
+	Program      string  `json:"program"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Instructions uint64  `json:"instructions"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
+// benchFile is the schema of the -bench-json artifact.
+type benchFile struct {
+	Programs       []benchRecord `json:"programs"`
+	SuiteWallSec   float64       `json:"suite_wall_seconds"`
+	GeomeanIPS     float64       `json:"geomean_instrs_per_sec"`
+	TotalInstrs    uint64        `json:"total_instructions"`
+	AggregateIPS   float64       `json:"aggregate_instrs_per_sec"`
+	HostGoroutines int           `json:"host_parallelism"`
+}
+
+func writeBenchJSON(path string, rs core.ResultSet, elapsed time.Duration) error {
+	names := make([]string, 0, len(rs))
+	for name := range rs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := benchFile{
+		SuiteWallSec:   elapsed.Seconds(),
+		HostGoroutines: runtime.GOMAXPROCS(0),
+	}
+	logSum, logN := 0.0, 0
+	for _, name := range names {
+		r := rs[name]
+		ips := r.InstrsPerSec()
+		out.Programs = append(out.Programs, benchRecord{
+			Program:      name,
+			WallSeconds:  r.Wall.Seconds(),
+			Instructions: r.Report.DynamicInstructions,
+			InstrsPerSec: ips,
+		})
+		out.TotalInstrs += r.Report.DynamicInstructions
+		if ips > 0 {
+			logSum += math.Log(ips)
+			logN++
+		}
+	}
+	if logN > 0 {
+		out.GeomeanIPS = math.Exp(logSum / float64(logN))
+	}
+	if elapsed > 0 {
+		out.AggregateIPS = float64(out.TotalInstrs) / elapsed.Seconds()
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -36,6 +36,19 @@ type Program struct {
 	// Procs maps instruction ranges to procedure names for profiler
 	// attribution, sorted by Start.
 	Procs []ProcInfo
+	// Meta is the per-PC static instruction metadata (isa.ProgramMeta),
+	// computed once at link time so the timing model and profiler index it
+	// instead of re-deriving per retired event.
+	Meta []isa.InstMeta
+}
+
+// InstMeta returns the per-PC static metadata table, computing it on demand
+// for programs constructed without Link (e.g. struct literals in tests).
+func (p *Program) InstMeta() []isa.InstMeta {
+	if p.Meta == nil {
+		p.Meta = isa.ProgramMeta(p.Insts)
+	}
+	return p.Meta
 }
 
 // ProcInfo records that instructions [Start, End) belong to procedure Name.
@@ -334,6 +347,7 @@ func (b *Builder) Link() (*Program, error) {
 
 	return &Program{
 		Name:    b.name,
+		Meta:    isa.ProgramMeta(insts),
 		Insts:   insts,
 		Entry:   b.entry,
 		Labels:  labels,

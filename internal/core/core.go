@@ -114,6 +114,7 @@ func Run(b Benchmark, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: build %s: %w", b.Name(), err)
 	}
 	model := pentium.New(cfg)
+	model.Bind(prog)
 	col := profile.NewCollector(prog, model)
 	cpu := vm.New(prog)
 	cpu.Obs = col

@@ -1,0 +1,53 @@
+package isa
+
+// InstMeta is the static, per-instruction metadata that the timing model and
+// the profiler would otherwise re-derive on every retirement: everything
+// here is invariant for a given Inst, so it is computed once per static
+// instruction (at program link time) and indexed by PC for each of the
+// millions of dynamic events a suite run retires.
+type InstMeta struct {
+	Class    Class
+	Category MMXCategory
+	// Latency is the base execution latency (Op.Latency()); the timing
+	// model applies its configuration overrides on top.
+	Latency int
+	// Uops is the Pentium II micro-op decomposition (Inst.UopCount()).
+	Uops int
+	// PairU/PairV are the opcode's pairing attributes.
+	PairU, PairV bool
+	// RefsMem is Inst.ReferencesMemory().
+	RefsMem bool
+	// Branch reports a conditional branch (Op.IsBranch()).
+	Branch bool
+	// Reads and Writes are the fixed register sets of Inst.RegsRead and
+	// Inst.RegsWritten. They are immutable once computed; consumers must
+	// not append to or modify them.
+	Reads, Writes []Reg
+}
+
+// MetaFor computes the static metadata record for one instruction.
+func MetaFor(in *Inst) InstMeta {
+	op := in.Op
+	return InstMeta{
+		Class:    op.Class(),
+		Category: op.Category(),
+		Latency:  op.Latency(),
+		Uops:     in.UopCount(),
+		PairU:    op.PairableU(),
+		PairV:    op.PairableV(),
+		RefsMem:  in.ReferencesMemory(),
+		Branch:   op.IsBranch(),
+		Reads:    in.RegsRead(nil),
+		Writes:   in.RegsWritten(nil),
+	}
+}
+
+// ProgramMeta computes the per-PC metadata table for a linked instruction
+// sequence. The result is indexed by instruction index (PC).
+func ProgramMeta(insts []Inst) []InstMeta {
+	meta := make([]InstMeta, len(insts))
+	for i := range insts {
+		meta[i] = MetaFor(&insts[i])
+	}
+	return meta
+}

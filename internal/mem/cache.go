@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // Cache is one level of a set-associative LRU cache. Only tags are modeled;
 // data always comes from the flat memory image. The model exists to charge
 // miss penalties and report reference statistics, which is exactly what
@@ -13,17 +15,44 @@ type Cache struct {
 	tags  []uint32
 	valid []bool
 	lru   []uint8
+	// mru[set] is the most-recently-used way of each set, checked first on
+	// Access. Sequential code re-references the same line heavily, so this
+	// single probe resolves most hits without the associative scan; hitting
+	// the MRU way leaves the LRU ordering unchanged, so the fast path is
+	// state-identical to the full search.
+	mru []uint16
 }
 
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
 // NewCache builds a cache of sizeBytes capacity with the given associativity
-// and line size (both powers of two).
+// and line size. The geometry must be internally consistent — sizeBytes,
+// lineBytes and the implied set count must be powers of two, with at least
+// one set — or NewCache panics; a malformed cache would silently alias sets
+// through the bit-mask indexing, which is far worse than failing loudly at
+// construction.
 func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	if ways < 1 {
+		panic(fmt.Sprintf("mem: NewCache: ways must be >= 1, got %d", ways))
+	}
+	if !isPow2(lineBytes) {
+		panic(fmt.Sprintf("mem: NewCache: lineBytes must be a power of two, got %d", lineBytes))
+	}
+	if !isPow2(sizeBytes) {
+		panic(fmt.Sprintf("mem: NewCache: sizeBytes must be a power of two, got %d", sizeBytes))
+	}
 	sets := sizeBytes / (ways * lineBytes)
+	if sets < 1 || sets*ways*lineBytes != sizeBytes || !isPow2(sets) {
+		panic(fmt.Sprintf(
+			"mem: NewCache: %d bytes / (%d ways * %d-byte lines) does not yield a power-of-two set count",
+			sizeBytes, ways, lineBytes))
+	}
 	c := &Cache{
 		ways:  ways,
 		tags:  make([]uint32, sets*ways),
 		valid: make([]bool, sets*ways),
 		lru:   make([]uint8, sets*ways),
+		mru:   make([]uint16, sets),
 	}
 	for lineBytes > 1 {
 		lineBytes >>= 1
@@ -39,11 +68,17 @@ func (c *Cache) Access(addr uint32) bool {
 	line := addr >> c.lineShift
 	set := line & c.setMask
 	base := int(set) * c.ways
+	// Fast path: probe the most-recently-used way first. Touching the MRU
+	// way is a no-op on the LRU ages, so nothing else needs updating.
+	if m := base + int(c.mru[set]); c.valid[m] && c.tags[m] == line {
+		return true
+	}
 	// Search for a hit.
 	for w := 0; w < c.ways; w++ {
 		i := base + w
 		if c.valid[i] && c.tags[i] == line {
 			c.touch(base, w)
+			c.mru[set] = uint16(w)
 			return true
 		}
 	}
@@ -71,6 +106,7 @@ func (c *Cache) Access(addr uint32) bool {
 		}
 	}
 	c.lru[i] = 0
+	c.mru[set] = uint16(victim)
 	return false
 }
 
@@ -89,6 +125,9 @@ func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
 		c.lru[i] = 0
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 }
 

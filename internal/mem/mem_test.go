@@ -176,6 +176,87 @@ func TestHierarchyPenalties(t *testing.T) {
 	}
 }
 
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name                      string
+		sizeBytes, ways, lineByte int
+	}{
+		{"zero ways", 1024, 0, 32},
+		{"negative ways", 1024, -1, 32},
+		{"non-pow2 line", 1024, 2, 24},
+		{"zero line", 1024, 2, 0},
+		{"non-pow2 size", 1000, 2, 32},
+		{"zero sets", 64, 4, 32},
+		{"ways not dividing", 1024, 3, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%d, %d, %d) did not panic",
+						tc.sizeBytes, tc.ways, tc.lineByte)
+				}
+			}()
+			NewCache(tc.sizeBytes, tc.ways, tc.lineByte)
+		})
+	}
+}
+
+// refCache is a brutally simple reference model: per-set slices ordered
+// most-recent-first. It validates that the MRU fast path in Cache.Access
+// leaves hit/miss behavior identical to plain LRU.
+type refCache struct {
+	lineShift uint32
+	sets      uint32
+	ways      int
+	lines     [][]uint32
+}
+
+func newRefCache(sizeBytes, ways, lineBytes int) *refCache {
+	r := &refCache{ways: ways}
+	for lineBytes > 1 {
+		lineBytes >>= 1
+		r.lineShift++
+	}
+	r.sets = uint32(sizeBytes / (ways * (1 << r.lineShift)))
+	r.lines = make([][]uint32, r.sets)
+	return r
+}
+
+func (r *refCache) access(addr uint32) bool {
+	line := addr >> r.lineShift
+	set := line & (r.sets - 1)
+	s := r.lines[set]
+	for i, l := range s {
+		if l == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	if len(s) < r.ways {
+		s = append(s, 0)
+	}
+	copy(s[1:], s)
+	s[0] = line
+	r.lines[set] = s
+	return false
+}
+
+func TestCacheMatchesReferenceLRU(t *testing.T) {
+	c := NewCache(1024, 4, 32) // 8 sets
+	r := newRefCache(1024, 4, 32)
+	// Deterministic pseudo-random walk mixing re-references and conflicts.
+	x := uint32(12345)
+	for i := 0; i < 20000; i++ {
+		x = x*1664525 + 1013904223
+		addr := x % 4096 // 128 lines over 8 sets: heavy conflict traffic
+		if got, want := c.Access(addr), r.access(addr); got != want {
+			t.Fatalf("access %d (addr %#x): Cache=%v ref=%v", i, addr, got, want)
+		}
+	}
+}
+
 func TestNilHierarchyIsPerfect(t *testing.T) {
 	var h *Hierarchy
 	if h.Access(1234) != 0 {

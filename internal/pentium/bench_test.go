@@ -1,0 +1,57 @@
+package pentium
+
+import (
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/vm"
+)
+
+// retireProgram builds a representative instruction mix (ALU, load, RMW,
+// branch) and the event stream one loop iteration produces.
+func retireProgram() (*asm.Program, []vm.Event) {
+	b := asm.NewBuilder("retire-bench")
+	b.I(isa.MOV, asm.R(isa.EBX), asm.MemD(isa.ESI, 0))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.R(isa.EBX))
+	b.I(isa.ADD, asm.MemD(isa.ESI, 0), asm.Imm(3))
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(4))
+	b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(1))
+	b.J(isa.JNE, "top")
+	b.Label("top")
+	b.I(isa.HALT)
+	prog := b.MustLink()
+	evs := make([]vm.Event, 0, len(prog.Insts))
+	for pc := range prog.Insts {
+		evs = append(evs, vm.Event{
+			PC:       pc,
+			Inst:     &prog.Insts[pc],
+			Measured: true,
+			Target:   pc + 1,
+		})
+	}
+	return prog, evs
+}
+
+// BenchmarkRetire compares the bound (per-PC timing table) path against the
+// unbound per-event derivation fallback.
+func BenchmarkRetire(b *testing.B) {
+	prog, evs := retireProgram()
+	bench := func(b *testing.B, bind bool) {
+		b.Helper()
+		b.ReportAllocs()
+		m := New(DefaultConfig())
+		if bind {
+			m.Bind(prog)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ev := range evs {
+				m.Retire(ev)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(evs)), "ns/event")
+	}
+	b.Run("bound", func(b *testing.B) { bench(b, true) })
+	b.Run("fallback", func(b *testing.B) { bench(b, false) })
+}

@@ -13,6 +13,7 @@
 package pentium
 
 import (
+	"mmxdsp/internal/asm"
 	"mmxdsp/internal/isa"
 	"mmxdsp/internal/vm"
 )
@@ -41,6 +42,27 @@ func DefaultConfig() Config {
 	return Config{MispredictPenalty: 4, EmmsLatency: -1}
 }
 
+// instTiming is the fully resolved, configuration-applied timing record of
+// one static instruction: everything Retire needs that does not depend on
+// dynamic state. Bound models index a per-PC table of these instead of
+// re-deriving latencies, occupancies and register sets per retired event.
+type instTiming struct {
+	lat, occ     int
+	reads        []isa.Reg
+	writes       []isa.Reg
+	refsMem      bool
+	branch       bool
+	pairU, pairV bool
+}
+
+// scratchTiming is one reusable timing slot for the unbound (event-at-a-
+// time) path, with persistent register-set buffers to avoid allocation.
+type scratchTiming struct {
+	t         instTiming
+	readsBuf  []isa.Reg
+	writesBuf []isa.Reg
+}
+
 // Model accumulates cycles for a retired instruction stream.
 type Model struct {
 	cfg Config
@@ -51,20 +73,25 @@ type Model struct {
 	readyAt [isa.NumRegs]uint64
 
 	// Pairing state: whether the previous instruction can still host a
-	// V-pipe partner, and the issue cycle it would share.
-	haveU   bool
-	uInst   *isa.Inst
-	uIssue  uint64
-	uWrites []isa.Reg
-	vReads  []isa.Reg
-	vWrites []isa.Reg
-	scratch []isa.Reg
+	// V-pipe partner, the issue cycle it would share, and its timing.
+	haveU  bool
+	uIssue uint64
+	uT     *instTiming
 
 	paired   uint64
 	branches uint64
 	mispred  uint64
 
 	btb btb
+
+	// pcT is the per-PC timing table installed by Bind; nil models derive
+	// timing from each event's Inst on the fly.
+	pcT []instTiming
+	// scratch holds two alternating slots for the unbound path: the
+	// current instruction's timing plus the pending U instruction's (which
+	// survives exactly one event, so two slots suffice).
+	scratch [2]scratchTiming
+	si      int
 }
 
 // New builds a timing model with the given configuration.
@@ -75,6 +102,65 @@ func New(cfg Config) *Model {
 	m := &Model{cfg: cfg}
 	m.btb.reset()
 	return m
+}
+
+// Bind installs the per-PC timing table for a linked program, applying the
+// model's configuration overrides once per static instruction. A bound
+// model must only be fed events produced by running that program (event PC
+// indexes the table); events whose PC falls outside the program — as in
+// synthetic streams — fall back to per-event derivation.
+func (m *Model) Bind(prog *asm.Program) {
+	meta := prog.InstMeta()
+	m.pcT = make([]instTiming, len(meta))
+	for i := range meta {
+		m.fillTiming(&m.pcT[i], prog.Insts[i].Op, &meta[i])
+	}
+}
+
+// fillTiming resolves one instruction's timing under the configuration.
+func (m *Model) fillTiming(t *instTiming, op isa.Op, md *isa.InstMeta) {
+	lat := md.Latency
+	switch {
+	case op == isa.EMMS && m.cfg.EmmsLatency >= 0:
+		lat = m.cfg.EmmsLatency
+	case md.Class == isa.ClassMMXMul && m.cfg.MMXMulLatency > 0:
+		lat = m.cfg.MMXMulLatency
+	}
+	occ := occupancy(op, lat)
+	if md.Class == isa.ClassMMXMul && m.cfg.MMXMulLatency > 0 {
+		// The ablation models an unpipelined multiplier like imul's.
+		occ = lat
+	}
+	t.lat = lat
+	t.occ = occ
+	t.reads = md.Reads
+	t.writes = md.Writes
+	t.refsMem = md.RefsMem
+	t.branch = md.Branch
+	t.pairU = md.PairU
+	t.pairV = md.PairV
+}
+
+// fallbackTiming derives timing for one event without a bound table,
+// alternating between two scratch slots so the pending U instruction's
+// record stays valid while the next event's is built.
+func (m *Model) fallbackTiming(in *isa.Inst) *instTiming {
+	s := &m.scratch[m.si]
+	m.si ^= 1
+	op := in.Op
+	md := isa.InstMeta{
+		Class:   op.Class(),
+		Latency: op.Latency(),
+		PairU:   op.PairableU(),
+		PairV:   op.PairableV(),
+		RefsMem: in.ReferencesMemory(),
+		Branch:  op.IsBranch(),
+	}
+	s.readsBuf = in.RegsRead(s.readsBuf[:0])
+	s.writesBuf = in.RegsWritten(s.writesBuf[:0])
+	md.Reads, md.Writes = s.readsBuf, s.writesBuf
+	m.fillTiming(&s.t, op, &md)
+	return &s.t
 }
 
 // Cycles returns the total cycles charged so far.
@@ -88,17 +174,6 @@ func (m *Model) Branches() uint64 { return m.branches }
 
 // Mispredicts returns the mispredicted-branch count.
 func (m *Model) Mispredicts() uint64 { return m.mispred }
-
-// latency returns the result latency after config overrides.
-func (m *Model) latency(op isa.Op) int {
-	switch {
-	case op == isa.EMMS && m.cfg.EmmsLatency >= 0:
-		return m.cfg.EmmsLatency
-	case op.Class() == isa.ClassMMXMul && m.cfg.MMXMulLatency > 0:
-		return m.cfg.MMXMulLatency
-	}
-	return op.Latency()
-}
 
 // occupancy returns how many cycles the instruction blocks its issue pipe.
 // Pipelined units (integer ALU, FP adder/multiplier, all MMX ALUs and the
@@ -119,26 +194,23 @@ func occupancy(op isa.Op, lat int) int {
 
 // Retire processes one event and returns the cycles the clock advanced.
 func (m *Model) Retire(ev vm.Event) int {
-	op := ev.Inst.Op
-	lat := m.latency(op)
-	occ := occupancy(op, lat)
-	if op.Class() == isa.ClassMMXMul && m.cfg.MMXMulLatency > 0 {
-		// The ablation models an unpipelined multiplier like imul's.
-		occ = lat
+	var t *instTiming
+	if m.pcT != nil && ev.PC >= 0 && ev.PC < len(m.pcT) {
+		t = &m.pcT[ev.PC]
+	} else {
+		t = m.fallbackTiming(ev.Inst)
 	}
 
 	// Dependency stall: wait for every source register.
 	start := m.now
-	reads := ev.Inst.RegsRead(m.scratch[:0])
-	for _, r := range reads {
-		if t := m.readyAt[r]; t > start {
-			start = t
+	for _, r := range t.reads {
+		if rt := m.readyAt[r]; rt > start {
+			start = rt
 		}
 	}
-	m.scratch = reads[:0]
 
 	var penalty int
-	if op.IsBranch() {
+	if t.branch {
 		m.branches++
 		var predictTaken bool
 		if !m.cfg.DisableBTB {
@@ -159,61 +231,51 @@ func (m *Model) Retire(ev vm.Event) int {
 	// Dual issue: a stall-free pairable instruction joins the pending
 	// U-pipe instruction's cycle.
 	if !m.cfg.DisablePairing && m.haveU && start == m.now && penalty == 0 &&
-		occ == 1 && m.canPairAsV(ev.Inst) {
+		t.occ == 1 && t.pairV && m.canPairAsV(t) {
 		m.paired++
 		m.haveU = false
-		m.setWrites(ev.Inst, m.uIssue+uint64(lat))
+		m.setWrites(t.writes, m.uIssue+uint64(t.lat))
 		return 0
 	}
 
 	issue := start
-	m.now = issue + uint64(occ+penalty)
-	m.setWrites(ev.Inst, issue+uint64(lat)+uint64(ev.MemPenalty))
+	m.now = issue + uint64(t.occ+penalty)
+	m.setWrites(t.writes, issue+uint64(t.lat)+uint64(ev.MemPenalty))
 
-	if op.PairableU() && !ev.Taken && penalty == 0 {
+	if t.pairU && !ev.Taken && penalty == 0 {
 		m.haveU = true
-		m.uInst = ev.Inst
 		m.uIssue = issue
-		m.uWrites = ev.Inst.RegsWritten(m.uWrites[:0])
+		m.uT = t
 	} else {
 		m.haveU = false
 	}
 	return int(m.now - before)
 }
 
-func (m *Model) setWrites(in *isa.Inst, ready uint64) {
-	m.scratch = in.RegsWritten(m.scratch[:0])
-	for _, r := range m.scratch {
+func (m *Model) setWrites(writes []isa.Reg, ready uint64) {
+	for _, r := range writes {
 		m.readyAt[r] = ready
 	}
-	m.scratch = m.scratch[:0]
 }
 
-// canPairAsV reports whether inst may dual-issue in the V pipe behind the
-// pending U instruction.
-func (m *Model) canPairAsV(inst *isa.Inst) bool {
-	if !inst.Op.PairableV() {
-		return false
-	}
+// canPairAsV reports whether an instruction (already known PairableV) may
+// dual-issue in the V pipe behind the pending U instruction.
+func (m *Model) canPairAsV(t *instTiming) bool {
 	// The Pentium pairs at most one data memory reference per cycle
 	// (two only in restricted same-bank cases, conservatively excluded).
-	if m.uInst.ReferencesMemory() && inst.ReferencesMemory() {
+	if m.uT.refsMem && t.refsMem {
 		return false
 	}
 	// Register dependencies: V may not read or write anything U writes.
-	if len(m.uWrites) > 0 {
-		m.vReads = inst.RegsRead(m.vReads[:0])
-		m.vWrites = inst.RegsWritten(m.vWrites[:0])
-		for _, w := range m.uWrites {
-			for _, r := range m.vReads {
-				if r == w {
-					return false
-				}
+	for _, w := range m.uT.writes {
+		for _, r := range t.reads {
+			if r == w {
+				return false
 			}
-			for _, w2 := range m.vWrites {
-				if w2 == w {
-					return false
-				}
+		}
+		for _, w2 := range t.writes {
+			if w2 == w {
+				return false
 			}
 		}
 	}

@@ -25,6 +25,11 @@ type Collector struct {
 	Model *pentium.Model
 	Prog  *asm.Program
 
+	// meta is the program's per-PC static metadata (class, uop count,
+	// category, memory-reference predicate), computed once at link time and
+	// indexed per event instead of re-derived.
+	meta []isa.InstMeta
+
 	dyn     uint64
 	uops    uint64
 	memRefs uint64
@@ -46,6 +51,7 @@ func NewCollector(prog *asm.Program, model *pentium.Model) *Collector {
 	return &Collector{
 		Model:    model,
 		Prog:     prog,
+		meta:     prog.InstMeta(),
 		pcCounts: make([]uint64, len(prog.Insts)),
 		pcCycles: make([]uint64, len(prog.Insts)),
 	}
@@ -57,17 +63,18 @@ func (c *Collector) Retire(ev vm.Event) {
 	if !ev.Measured {
 		return
 	}
+	md := &c.meta[ev.PC]
 	c.dyn++
 	c.cycles += uint64(cost)
-	c.uops += uint64(ev.Inst.UopCount())
-	if ev.Inst.ReferencesMemory() {
+	c.uops += uint64(md.Uops)
+	if md.RefsMem {
 		c.memRefs++
 	}
 	op := ev.Inst.Op
-	cl := op.Class()
+	cl := md.Class
 	c.classCounts[cl]++
 	c.classCycles[cl] += uint64(cost)
-	c.mmxCat[op.Category()]++
+	c.mmxCat[md.Category]++
 	c.pcCounts[ev.PC]++
 	c.pcCycles[ev.PC] += uint64(cost)
 	c.opCounts[op]++

@@ -1,0 +1,169 @@
+package vm_test
+
+// Differential test for the predecoded interpreter: every program in the
+// benchmark suite runs through both the generic decode-per-step loop and the
+// predecoded threaded-dispatch loop, with the full timing pipeline attached
+// (bound Pentium model, profile collector, cache hierarchy). The two paths
+// must agree on every architecturally visible outcome: registers, the entire
+// memory image, the profiling report (cycles, pairing, class attribution,
+// cache statistics) and a hash over the complete retired-event stream.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/mem"
+	"mmxdsp/internal/pentium"
+	"mmxdsp/internal/profile"
+	"mmxdsp/internal/suite"
+	"mmxdsp/internal/vm"
+)
+
+// eventHasher folds every retired event into an FNV-64a running hash, so the
+// comparison covers millions of events without storing them.
+type eventHasher struct {
+	next vm.Observer
+	sum  uint64
+	n    uint64
+}
+
+func (h *eventHasher) Retire(ev vm.Event) {
+	f := fnv.New64a()
+	var buf [28]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(ev.PC))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(ev.Inst.Op))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(ev.Target))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(ev.MemPenalty))
+	binary.LittleEndian.PutUint64(buf[16:], h.sum)
+	if ev.Measured {
+		buf[24] = 1
+	}
+	if ev.Taken {
+		buf[25] = 1
+	}
+	f.Write(buf[:])
+	h.sum = f.Sum64()
+	h.n++
+	if h.next != nil {
+		h.next.Retire(ev)
+	}
+}
+
+// runOutcome is everything one interpreter path produces.
+type runOutcome struct {
+	gpr       [8]uint32
+	mm        [8]uint64
+	fp        [8]float64
+	mem       []byte
+	executed  int64
+	report    *profile.Report
+	eventHash uint64
+	events    uint64
+}
+
+func runPath(t *testing.T, prog *asm.Program, generic bool) *runOutcome {
+	t.Helper()
+	cfg := pentium.DefaultConfig()
+	model := pentium.New(cfg)
+	model.Bind(prog)
+	col := profile.NewCollector(prog, model)
+	hasher := &eventHasher{next: col}
+
+	cpu := vm.New(prog)
+	cpu.Generic = generic
+	cpu.Obs = hasher
+	cpu.Hier = mem.NewHierarchy()
+	if err := cpu.Run(1 << 31); err != nil {
+		t.Fatalf("run (generic=%v): %v", generic, err)
+	}
+
+	out := &runOutcome{
+		executed:  cpu.Executed(),
+		report:    col.Report(prog.Name),
+		eventHash: hasher.sum,
+		events:    hasher.n,
+	}
+	for i := 0; i < 8; i++ {
+		out.gpr[i] = cpu.GPR(isa.EAX + isa.Reg(i))
+		out.mm[i] = uint64(cpu.MM(isa.MM0 + isa.Reg(i)))
+		out.fp[i] = cpu.FPReg(isa.FP0 + isa.Reg(i))
+	}
+	out.report.CacheAccesses = cpu.Hier.Stats.Accesses
+	out.report.L1Misses = cpu.Hier.Stats.L1Misses
+	out.report.L2Misses = cpu.Hier.Stats.L2Misses
+	out.mem = append([]byte(nil), cpu.Mem.Bytes()...)
+	return out
+}
+
+func TestPredecodedMatchesGeneric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential run is slow; skipped with -short")
+	}
+	for _, b := range suite.All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			gen := runPath(t, prog, true)
+			pre := runPath(t, prog, false)
+
+			if gen.gpr != pre.gpr {
+				t.Errorf("GPRs differ:\n generic %v\n predecoded %v", gen.gpr, pre.gpr)
+			}
+			if gen.mm != pre.mm {
+				t.Errorf("MM registers differ:\n generic %v\n predecoded %v", gen.mm, pre.mm)
+			}
+			if gen.fp != pre.fp {
+				t.Errorf("FP registers differ:\n generic %v\n predecoded %v", gen.fp, pre.fp)
+			}
+			if gen.executed != pre.executed {
+				t.Errorf("executed: generic %d, predecoded %d", gen.executed, pre.executed)
+			}
+			if gen.events != pre.events || gen.eventHash != pre.eventHash {
+				t.Errorf("event streams differ: generic %d events hash %#x, predecoded %d events hash %#x",
+					gen.events, gen.eventHash, pre.events, pre.eventHash)
+			}
+			if !bytes.Equal(gen.mem, pre.mem) {
+				for i := range gen.mem {
+					if gen.mem[i] != pre.mem[i] {
+						t.Errorf("memory images differ first at %#x: generic %#x, predecoded %#x",
+							i, gen.mem[i], pre.mem[i])
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(gen.report, pre.report) {
+				t.Errorf("reports differ:\n generic %+v\n predecoded %+v", gen.report, pre.report)
+			}
+		})
+	}
+}
+
+// TestPredecodedFaultsMatchGeneric checks that the out-of-program control
+// transfer fault is identical under both loops.
+func TestPredecodedFaultsMatchGeneric(t *testing.T) {
+	build := func() *asm.Program {
+		b := asm.NewBuilder("fallthrough")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1))
+		return b.MustLink()
+	}
+	g := vm.New(build())
+	g.Generic = true
+	errG := g.Run(100)
+	p := vm.New(build())
+	errP := p.Run(100)
+	if errG == nil || errP == nil {
+		t.Fatal("both paths must fault on running off the end")
+	}
+	if errG.Error() != errP.Error() {
+		t.Errorf("fault text differs:\n generic: %v\n predecoded: %v", errG, errP)
+	}
+}

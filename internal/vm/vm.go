@@ -45,6 +45,14 @@ type CPU struct {
 	Prog *asm.Program
 	Mem  *mem.Memory
 
+	// code is the predecoded handler array (see decode.go), compiled
+	// lazily on the first Run and shared by CPUs built with NewWithCode.
+	code *Code
+	// Generic forces the unspecialized decode-per-step interpreter. It
+	// exists for differential testing: the predecoded and generic paths
+	// must produce identical registers, memory, events and faults.
+	Generic bool
+
 	gpr [8]uint32
 	mm  [8]mmx.Reg
 	fp  [8]float64
@@ -65,7 +73,8 @@ type CPU struct {
 }
 
 // New builds a CPU for the program with its memory image loaded and the
-// stack pointer initialized.
+// stack pointer initialized. The program is predecoded on the first Run;
+// use NewWithCode to share one compiled Code across CPUs.
 func New(p *asm.Program) *CPU {
 	c := &CPU{
 		Prog: p,
@@ -74,6 +83,14 @@ func New(p *asm.Program) *CPU {
 	}
 	c.Mem.WriteBytes(asm.DataBase, p.Data)
 	c.gpr[isa.ESP.GPRIndex()] = p.StackTop()
+	return c
+}
+
+// NewWithCode builds a CPU that reuses an already-compiled program, so
+// repeated runs of the same program pay the predecode cost once.
+func NewWithCode(code *Code) *CPU {
+	c := New(code.prog)
+	c.code = code
 	return c
 }
 
@@ -106,8 +123,61 @@ func (c *CPU) fault(format string, args ...any) error {
 }
 
 // Run executes until HALT or until maxInstrs instructions have retired,
-// which guards against runaway programs.
+// which guards against runaway programs. The default inner loop is
+// "indexed fetch -> call predecoded handler -> retire"; set Generic to run
+// the unspecialized decode-per-step interpreter instead.
 func (c *CPU) Run(maxInstrs int64) error {
+	if c.Generic {
+		return c.runGeneric(maxInstrs)
+	}
+	if c.code == nil {
+		c.code = Compile(c.Prog)
+	}
+	ops := c.code.ops
+	// One Event is reused across iterations: the handler call takes its
+	// address through a function value, which would otherwise force a heap
+	// allocation per retired instruction.
+	var ev Event
+	for !c.halted {
+		if c.executed >= maxInstrs {
+			return c.fault("instruction budget of %d exceeded", maxInstrs)
+		}
+		pc := c.pc
+		if pc < 0 || pc >= len(ops) {
+			return c.fault("control transferred outside program (pc=%d)", pc)
+		}
+		d := &ops[pc]
+		c.executed++
+		if d.kind != dNormal {
+			// Pseudo instructions manage the measured region and emit no
+			// events, matching the generic step.
+			switch d.kind {
+			case dProfOn:
+				c.measuring = true
+			case dProfOff:
+				c.measuring = false
+			}
+			c.pc++
+			continue
+		}
+		ev = Event{PC: pc, Inst: d.inst, Measured: c.measuring}
+		if err := d.exec(c, &ev); err != nil {
+			return err
+		}
+		if !ev.Taken {
+			c.pc++
+		}
+		ev.Target = c.pc
+		if c.Obs != nil {
+			c.Obs.Retire(ev)
+		}
+	}
+	return nil
+}
+
+// runGeneric is the original decode-per-step loop, kept as the reference
+// semantics for the predecoded path.
+func (c *CPU) runGeneric(maxInstrs int64) error {
 	for !c.halted {
 		if c.executed >= maxInstrs {
 			return c.fault("instruction budget of %d exceeded", maxInstrs)

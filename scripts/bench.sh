@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# bench.sh — measure host-side simulator throughput over the full benchmark
+# suite and write BENCH_interp.json (per-program wall seconds and simulated
+# instructions per second, plus geomean and aggregate).
+#
+#   scripts/bench.sh                 # writes BENCH_interp.json at the repo root
+#   scripts/bench.sh out.json        # writes to a custom path
+#
+# Output validation is skipped: the run measures interpreter speed, and the
+# correctness gate is scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_interp.json}"
+
+echo "==> go build ./cmd/mmxbench"
+bin="$(mktemp -d)/mmxbench"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/mmxbench
+
+echo "==> mmxbench -bench-json $out"
+"$bin" -skip-check -bench-json "$out" -table2 >/dev/null
+
+echo "==> $out"
+grep -E '"(geomean|aggregate)_instrs_per_sec"|"suite_wall_seconds"' "$out"

@@ -4,6 +4,8 @@
 #
 #   scripts/check.sh          # full gate
 #   scripts/check.sh -short   # pass flags through to `go test ./...`
+#   BENCH=1 scripts/check.sh  # additionally refresh BENCH_interp.json
+#                             # (throughput measurement; not part of the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,5 +22,12 @@ go test "$@" ./...
 # goroutine-bearing code; exercise them under the race detector.
 echo "==> go test -race ./internal/core/... ./internal/suite/..."
 go test -race ./internal/core/... ./internal/suite/...
+
+# Optional: refresh the interpreter-throughput artifact. Wall-clock numbers
+# are host-dependent, so this never gates the build.
+if [[ "${BENCH:-0}" == "1" ]]; then
+    echo "==> scripts/bench.sh"
+    scripts/bench.sh
+fi
 
 echo "OK"
