@@ -60,6 +60,9 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 		benchJSON  = flag.String("bench-json", "", "write per-program host throughput (JSON) to this file")
+
+		dispatch    = flag.String("dispatch", "auto", "interpreter inner loop: auto, block, predecode or generic")
+		benchCommit = flag.String("bench-commit", "", "git commit hash to stamp into the -bench-json artifact")
 	)
 	flag.Parse()
 
@@ -82,6 +85,15 @@ func main() {
 	opt := core.DefaultOptions()
 	opt.SkipCheck = *skipCheck
 	opt.PerfectCache = *perfectCache
+	switch *dispatch {
+	case "auto":
+		opt.Dispatch = core.DispatchAuto
+	case "block", "predecode", "generic":
+		opt.Dispatch = *dispatch
+	default:
+		fmt.Fprintf(os.Stderr, "mmxbench: -dispatch: unknown mode %q (want auto, block, predecode or generic)\n", *dispatch)
+		os.Exit(2)
+	}
 	cfg := pentium.DefaultConfig()
 	cfg.DisablePairing = *noPairing
 	cfg.DisableBTB = *noBTB
@@ -140,7 +152,13 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, rs, elapsed); err != nil {
+		mode := *dispatch
+		if mode == "auto" {
+			// Auto resolves to block dispatch for profiled (untraced)
+			// runs; record the effective mode.
+			mode = "block"
+		}
+		if err := writeBenchJSON(*benchJSON, rs, elapsed, mode, *benchCommit); err != nil {
 			fmt.Fprintf(os.Stderr, "mmxbench: -bench-json: %v\n", err)
 			os.Exit(1)
 		}
@@ -189,10 +207,17 @@ type benchRecord struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	Instructions uint64  `json:"instructions"`
 	InstrsPerSec float64 `json:"instrs_per_sec"`
+	// Block-dispatch coverage: basic blocks compiled and the share of
+	// retired events applied through the fused block fast path.
+	Blocks      int     `json:"blocks"`
+	FastPathPct float64 `json:"fast_path_pct"`
 }
 
 // benchFile is the schema of the -bench-json artifact.
 type benchFile struct {
+	GitCommit      string        `json:"git_commit,omitempty"`
+	Dispatch       string        `json:"dispatch"`
+	UTCDate        string        `json:"utc_date"`
 	Programs       []benchRecord `json:"programs"`
 	SuiteWallSec   float64       `json:"suite_wall_seconds"`
 	GeomeanIPS     float64       `json:"geomean_instrs_per_sec"`
@@ -201,13 +226,16 @@ type benchFile struct {
 	HostGoroutines int           `json:"host_parallelism"`
 }
 
-func writeBenchJSON(path string, rs core.ResultSet, elapsed time.Duration) error {
+func writeBenchJSON(path string, rs core.ResultSet, elapsed time.Duration, mode, commit string) error {
 	names := make([]string, 0, len(rs))
 	for name := range rs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	out := benchFile{
+		GitCommit:      commit,
+		Dispatch:       mode,
+		UTCDate:        time.Now().UTC().Format(time.RFC3339),
 		SuiteWallSec:   elapsed.Seconds(),
 		HostGoroutines: runtime.GOMAXPROCS(0),
 	}
@@ -220,6 +248,8 @@ func writeBenchJSON(path string, rs core.ResultSet, elapsed time.Duration) error
 			WallSeconds:  r.Wall.Seconds(),
 			Instructions: r.Report.DynamicInstructions,
 			InstrsPerSec: ips,
+			Blocks:       r.Blocks.Compiled,
+			FastPathPct:  r.Blocks.FastPct(),
 		})
 		out.TotalInstrs += r.Report.DynamicInstructions
 		if ips > 0 {

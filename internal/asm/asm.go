@@ -40,6 +40,8 @@ type Program struct {
 	// computed once at link time so the timing model and profiler index it
 	// instead of re-deriving per retired event.
 	Meta []isa.InstMeta
+	// blocks is the memoized basic-block partition (see Blocks).
+	blocks []BlockInfo
 }
 
 // InstMeta returns the per-PC static metadata table, computing it on demand
@@ -348,6 +350,7 @@ func (b *Builder) Link() (*Program, error) {
 	return &Program{
 		Name:    b.name,
 		Meta:    isa.ProgramMeta(insts),
+		blocks:  ComputeBlocks(insts, b.entry),
 		Insts:   insts,
 		Entry:   b.entry,
 		Labels:  labels,

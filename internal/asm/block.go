@@ -1,0 +1,102 @@
+// Basic-block discovery over linked programs. A block is a maximal
+// straight-line run of instructions: it begins at a leader (the program
+// entry, a branch/jump/call target, or the instruction following a control
+// transfer or profiling marker) and ends at the first control transfer,
+// profiling marker, or next leader. Profiling markers terminate blocks so
+// that the measured/unmeasured profiling state is constant across a block
+// body — the property the block-level retirement batching in internal/vm
+// and internal/profile relies on.
+package asm
+
+import "mmxdsp/internal/isa"
+
+// BlockInfo describes one basic block: instructions [Start, End) with the
+// terminator (if any) at End-1.
+type BlockInfo struct {
+	Start int
+	End   int
+	// Term is the PC of the terminating control transfer (jmp/branch/
+	// call/ret/halt) or profiling marker, always End-1 when present, or -1
+	// when the block falls through into the next leader.
+	Term int
+}
+
+// Body returns the instruction range [Start, bodyEnd) excluding the
+// terminator: the straight-line run that retires with no control transfer.
+func (b BlockInfo) Body() (start, end int) {
+	if b.Term >= 0 {
+		return b.Start, b.Term
+	}
+	return b.Start, b.End
+}
+
+// blockTerminator reports whether the opcode ends a basic block.
+func blockTerminator(op isa.Op) bool {
+	switch op.Class() {
+	case isa.ClassJump, isa.ClassBranch, isa.ClassCall, isa.ClassRet:
+		return true
+	}
+	switch op {
+	case isa.HALT, isa.PROFON, isa.PROFOFF:
+		return true
+	}
+	return false
+}
+
+// hasControlTarget reports whether the opcode's Target field names a
+// control-transfer destination (rets pop theirs from the stack).
+func hasControlTarget(op isa.Op) bool {
+	switch op.Class() {
+	case isa.ClassJump, isa.ClassBranch, isa.ClassCall:
+		return true
+	}
+	return false
+}
+
+// ComputeBlocks partitions an instruction sequence into basic blocks. Every
+// instruction belongs to exactly one block and blocks appear in program
+// order; Blocks memoizes the result per Program.
+func ComputeBlocks(insts []isa.Inst, entry int) []BlockInfo {
+	n := len(insts)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	if entry >= 0 && entry < n {
+		leader[entry] = true
+	}
+	for i := range insts {
+		if blockTerminator(insts[i].Op) && i+1 < n {
+			leader[i+1] = true
+		}
+		if t := insts[i].Target; hasControlTarget(insts[i].Op) && t >= 0 && int(t) < n {
+			leader[t] = true
+		}
+	}
+	var blocks []BlockInfo
+	start := 0
+	for pc := 0; pc < n; pc++ {
+		end := pc + 1
+		if !blockTerminator(insts[pc].Op) && end < n && !leader[end] {
+			continue
+		}
+		term := -1
+		if blockTerminator(insts[pc].Op) {
+			term = pc
+		}
+		blocks = append(blocks, BlockInfo{Start: start, End: end, Term: term})
+		start = end
+	}
+	return blocks
+}
+
+// Blocks returns the program's basic-block partition, computing and caching
+// it on first use (like InstMeta, so interpreter, timing model and profiler
+// all index the same block numbering).
+func (p *Program) Blocks() []BlockInfo {
+	if p.blocks == nil {
+		p.blocks = ComputeBlocks(p.Insts, p.Entry)
+	}
+	return p.blocks
+}

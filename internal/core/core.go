@@ -46,6 +46,20 @@ type Benchmark struct {
 // Name returns the paper-style program name, e.g. "fft.mmx".
 func (b Benchmark) Name() string { return b.Base + "." + b.Version }
 
+// Dispatch modes for Options.Dispatch.
+const (
+	// DispatchAuto lets the VM pick the fastest applicable inner loop:
+	// block dispatch when the observer supports it, per-event otherwise
+	// (tracing attaches a Tee, which forces the per-event path).
+	DispatchAuto = ""
+	// DispatchBlock is DispatchAuto under its explicit name.
+	DispatchBlock = "block"
+	// DispatchPredecode pins the per-event predecoded loop.
+	DispatchPredecode = "predecode"
+	// DispatchGeneric runs the decode-per-step reference interpreter.
+	DispatchGeneric = "generic"
+)
+
 // Options configures a run.
 type Options struct {
 	// Pentium is the timing-model configuration. nil selects
@@ -71,12 +85,38 @@ type Options struct {
 	// Progress, when non-nil, is invoked by RunAll as each benchmark
 	// retires (in completion order, serialized). Run ignores it.
 	Progress func(RunStatus)
+	// Dispatch selects the interpreter inner loop (DispatchAuto,
+	// DispatchBlock, DispatchPredecode or DispatchGeneric). Run rejects
+	// unknown values.
+	Dispatch string
 }
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options {
 	cfg := pentium.DefaultConfig()
 	return Options{Pentium: &cfg}
+}
+
+// BlockStats describes block-dispatch behavior for one run. It is
+// diagnostic host-side data, deliberately separate from Report (reports are
+// byte-identical across dispatch modes).
+type BlockStats struct {
+	// Compiled is the number of basic blocks the program compiled into.
+	Compiled int
+	// FastEvents and PerEvents split the retired events between the fused
+	// block fast path and the per-event path (terminators, fallback
+	// replays, or entire runs on the non-block interpreters).
+	FastEvents uint64
+	PerEvents  uint64
+}
+
+// FastPct returns the percentage of retired events on the fused fast path.
+func (s BlockStats) FastPct() float64 {
+	total := s.FastEvents + s.PerEvents
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.FastEvents) / float64(total)
 }
 
 // Result is the outcome of one benchmark run.
@@ -86,6 +126,8 @@ type Result struct {
 	// Wall is how long the simulation took on the host, measured around
 	// the VM run only (not Build or Check).
 	Wall time.Duration
+	// Blocks reports block-dispatch coverage for the run.
+	Blocks BlockStats
 }
 
 // InstrsPerSec returns the host simulation throughput in retired
@@ -118,6 +160,15 @@ func Run(b Benchmark, opt Options) (*Result, error) {
 	col := profile.NewCollector(prog, model)
 	cpu := vm.New(prog)
 	cpu.Obs = col
+	switch opt.Dispatch {
+	case DispatchAuto, DispatchBlock:
+	case DispatchPredecode:
+		cpu.NoBlocks = true
+	case DispatchGeneric:
+		cpu.Generic = true
+	default:
+		return nil, fmt.Errorf("core: run %s: unknown dispatch mode %q", b.Name(), opt.Dispatch)
+	}
 	var tracer *profile.Tracer
 	if opt.Trace != nil {
 		tracer = &profile.Tracer{W: opt.Trace, Limit: opt.TraceLimit, MeasuredOnly: true}
@@ -147,5 +198,7 @@ func Run(b Benchmark, opt Options) (*Result, error) {
 		rep.L1Misses = cpu.Hier.Stats.L1Misses
 		rep.L2Misses = cpu.Hier.Stats.L2Misses
 	}
-	return &Result{Benchmark: b, Report: rep, Wall: wall}, nil
+	fast, perEvent := col.BlockStats()
+	blocks := BlockStats{Compiled: cpu.CompiledBlocks(), FastEvents: fast, PerEvents: perEvent}
+	return &Result{Benchmark: b, Report: rep, Wall: wall, Blocks: blocks}, nil
 }

@@ -1,0 +1,42 @@
+package core_test
+
+// Cross-dispatch determinism: the rendered evaluation artifacts — Tables 2
+// and 3 (CSV) and the full Markdown report — must be byte-identical whether
+// the suite runs on the per-event predecoded loop or the block-dispatch
+// loop. This is the user-facing face of the equivalence guarantee: block
+// batching is a host-side optimization and must never shift a reported
+// number. External test package because suite imports core.
+
+import (
+	"testing"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/suite"
+)
+
+func TestTablesByteIdenticalAcrossDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-suite runs are slow; skipped with -short")
+	}
+	render := func(dispatch string) (string, string, string) {
+		opt := core.DefaultOptions()
+		opt.SkipCheck = true
+		opt.Dispatch = dispatch
+		rs, err := core.RunAll(suite.All(), opt)
+		if err != nil {
+			t.Fatalf("RunAll (%s): %v", dispatch, err)
+		}
+		return core.Table2CSV(rs), core.Table3CSV(rs), core.MarkdownReport(rs)
+	}
+	t2p, t3p, mdp := render(core.DispatchPredecode)
+	t2b, t3b, mdb := render(core.DispatchBlock)
+	if t2p != t2b {
+		t.Errorf("Table 2 CSV differs across dispatch modes:\n predecode:\n%s\n block:\n%s", t2p, t2b)
+	}
+	if t3p != t3b {
+		t.Errorf("Table 3 CSV differs across dispatch modes:\n predecode:\n%s\n block:\n%s", t3p, t3b)
+	}
+	if mdp != mdb {
+		t.Error("Markdown report differs across dispatch modes")
+	}
+}

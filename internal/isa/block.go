@@ -1,0 +1,94 @@
+package isa
+
+// Block-level static aggregates. A basic block's body (everything up to its
+// terminator) retires as one straight-line run, so every per-event profile
+// counter update the body would perform — instruction, uop, memory-reference,
+// class, opcode and MMX-category counts — can be summed once at compile time
+// and applied with a handful of adds per block execution.
+
+// EmitsEvent reports whether a retired instance of the opcode produces a VM
+// retirement event. NOP and the profiling markers manage interpreter state
+// but are invisible to observers.
+func (op Op) EmitsEvent() bool {
+	switch op {
+	case NOP, PROFON, PROFOFF:
+		return false
+	}
+	return true
+}
+
+// ClassCount is one sparse per-class counter of a block aggregate.
+type ClassCount struct {
+	Class Class
+	N     uint64
+}
+
+// OpCount is one sparse per-opcode counter of a block aggregate.
+type OpCount struct {
+	Op Op
+	N  uint64
+}
+
+// BlockAgg is the static profile aggregate of one basic-block body. All
+// counts cover the event-emitting instructions listed in PCs; NOPs inside
+// the body retire silently and appear in no aggregate, exactly as on the
+// per-event path.
+type BlockAgg struct {
+	// PCs lists the body's event-emitting instructions in program order.
+	PCs []int32
+	// IsMem flags, per PCs entry, the instructions that reference memory
+	// (loads, stores, and the implicit stack accesses of push/pop).
+	IsMem []bool
+	// MemN is the number of true entries in IsMem.
+	MemN int
+
+	Uops    uint64
+	MemRefs uint64
+	// Classes and Ops are sparse: one entry per class/opcode that occurs
+	// in the body, in first-occurrence order.
+	Classes []ClassCount
+	Ops     []OpCount
+	// MMXCat is indexed by MMXCategory.
+	MMXCat [5]uint64
+}
+
+// BlockAggFor sums the static metadata of the block body [start, end)
+// excluding term (the terminator PC, or -1 for fall-through blocks); the
+// terminator always retires through the per-event path because its timing
+// depends on dynamic state (branch direction, BTB, stack memory).
+func BlockAggFor(insts []Inst, meta []InstMeta, start, end, term int) BlockAgg {
+	bodyEnd := end
+	if term >= 0 {
+		bodyEnd = term
+	}
+	var agg BlockAgg
+	var classN [NumClasses]uint64
+	var opN [NumOps]uint64
+	for pc := start; pc < bodyEnd; pc++ {
+		if !insts[pc].Op.EmitsEvent() {
+			continue
+		}
+		md := &meta[pc]
+		agg.PCs = append(agg.PCs, int32(pc))
+		agg.IsMem = append(agg.IsMem, md.RefsMem)
+		if md.RefsMem {
+			agg.MemN++
+			agg.MemRefs++
+		}
+		agg.Uops += uint64(md.Uops)
+		agg.MMXCat[md.Category]++
+		classN[md.Class]++
+		opN[insts[pc].Op]++
+	}
+	for cl, n := range classN {
+		if n > 0 {
+			agg.Classes = append(agg.Classes, ClassCount{Class: Class(cl), N: n})
+		}
+	}
+	for op, n := range opN {
+		if n > 0 {
+			agg.Ops = append(agg.Ops, OpCount{Op: Op(op), N: n})
+		}
+	}
+	return agg
+}

@@ -1,0 +1,346 @@
+// Block-level timing: every basic-block body is a straight-line run with no
+// branches (control transfers always terminate blocks), so its schedule —
+// dependency stalls, U/V pairing, result latencies, cache penalties — can
+// be resolved by replaying the body once through a scratch model and then
+// applied as one aggregate update (clock advance, pair count, scoreboard
+// writes, exit pairing state) each time the block executes in an
+// equivalent entry state.
+//
+// The schedule depends on the dynamic entry state only through:
+//
+//   - the lag of each live-in register (readyAt - now for registers read
+//     before written inside the body);
+//   - the cache penalty charged to each memory reference this execution;
+//   - whether a pending U-pipe instruction from the previous block could
+//     pair with the body's first instruction (conservatively declined —
+//     hot loop back-edges enter through a taken branch, which never
+//     leaves a pending U instruction).
+//
+// The common case — all registers ready, all references L1 hits — is the
+// clean schedule, resolved once at Bind. Other (lags, penalties)
+// signatures are resolved on first sight and cached per block in a small
+// variant table; DSP loops have a constant carried-dependency lag and a
+// periodic streaming-miss pattern, so a handful of variants covers the
+// steady state. RetireBlock applies whichever schedule matches in O(body)
+// time, or reports failure without touching any state so the caller can
+// replay the body per-event.
+package pentium
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/vm"
+)
+
+// maxSigEntry bounds the lag and penalty values a variant signature
+// records; larger values (microcoded latencies, pathological misses) fall
+// back to per-event replay.
+const maxSigEntry = 255
+
+// maxVariants bounds the per-block variant table; beyond it, new
+// signatures overwrite round-robin.
+const maxVariants = 8
+
+// regReady records the ready time of one register written by a block body,
+// as an offset from the block's entry clock.
+type regReady struct {
+	reg isa.Reg
+	off uint64
+}
+
+// blockSched is one resolved schedule of a block body under a specific
+// entry signature.
+type blockSched struct {
+	// costs[i] is the clock advance charged by the body's i-th
+	// event-emitting instruction (0 for the V-pipe half of a pair). The
+	// profiler uses it for per-PC and per-class cycle attribution.
+	costs []uint32
+	// delta is the total clock advance of the body (sum of costs).
+	delta uint64
+	// pairs is how many U/V pairs the body issues.
+	pairs uint64
+	// writes lists every register the body writes with its final
+	// entry-relative ready offset. Offsets of zero are meaningful (e.g. a
+	// zero-latency ablated emms), so the set is explicit rather than
+	// inferred from non-zero scoreboard entries.
+	writes []regReady
+	// exitU records the pairing state the body leaves behind: whether its
+	// last instruction is still hosting the U pipe, at which
+	// entry-relative issue cycle, and with which timing record.
+	exitU bool
+	uOff  uint64
+	uT    *instTiming
+}
+
+// blockVariant is one cached lagged/penalized schedule with its signature:
+// the clamped live-in lags followed by the per-reference penalties.
+type blockVariant struct {
+	sig []uint8
+	s   blockSched
+}
+
+// blockTiming is the timing record of one basic block. A nil clean.costs
+// marks a block with no event-emitting body instructions; RetireBlock
+// declines those.
+type blockTiming struct {
+	// pcs lists the body's event-emitting instructions; memN counts the
+	// memory-referencing ones (the length of the penalty vector).
+	pcs  []int32
+	memN int
+	// guards lists the body's live-in registers: read before any in-block
+	// write.
+	guards []isa.Reg
+	// pairRisk reports that the body's first instruction could pair into
+	// the V pipe behind a pending U instruction (pairable-V with
+	// single-cycle occupancy); entering with haveU set then invalidates
+	// any precomputed schedule.
+	pairRisk bool
+
+	// clean is the all-ready, all-hit schedule; variants cache the others.
+	// lastHit remembers the variant the previous execution matched: hot
+	// loops reuse one signature for long stretches, so checking it first
+	// makes the lookup a single comparison in the steady state.
+	clean    blockSched
+	variants []blockVariant
+	nextVar  int
+	lastHit  int
+}
+
+// bindBlocks statically schedules every basic-block body of the bound
+// program. Called from Bind after the per-PC timing table is installed.
+func (m *Model) bindBlocks(prog *asm.Program) {
+	blocks := prog.Blocks()
+	m.blockT = make([]blockTiming, len(blocks))
+	for bi := range blocks {
+		start, bodyEnd := blocks[bi].Body()
+		bt := &m.blockT[bi]
+		var written, guarded [isa.NumRegs]bool
+		for pc := start; pc < bodyEnd; pc++ {
+			if !prog.Insts[pc].Op.EmitsEvent() {
+				continue
+			}
+			t := &m.pcT[pc]
+			if len(bt.pcs) == 0 {
+				bt.pairRisk = !m.cfg.DisablePairing && t.pairV && t.occ == 1
+			}
+			for _, r := range t.reads {
+				if !written[r] && !guarded[r] {
+					guarded[r] = true
+					bt.guards = append(bt.guards, r)
+				}
+			}
+			for _, r := range t.writes {
+				written[r] = true
+			}
+			if t.refsMem {
+				bt.memN++
+			}
+			bt.pcs = append(bt.pcs, int32(pc))
+		}
+		if len(bt.pcs) == 0 {
+			continue
+		}
+		m.replayBlock(bt, nil, &bt.clean)
+	}
+}
+
+// replayBlock resolves one schedule variant of block bt by replaying its
+// body through a scratch model seeded from the signature (nil = clean
+// entry: no lags, no penalties). The scratch model shares pcT (and the
+// configuration) with m, so latencies resolve identically; its BTB is
+// never consulted because bodies contain no branches.
+func (m *Model) replayBlock(bt *blockTiming, sig []uint8, out *blockSched) {
+	if m.sim == nil {
+		m.sim = &Model{}
+	}
+	sim := m.sim
+	*sim = Model{cfg: m.cfg, pcT: m.pcT}
+	if sig != nil {
+		for i, r := range bt.guards {
+			sim.readyAt[r] = uint64(sig[i])
+		}
+	}
+	pen := []uint8(nil)
+	if sig != nil {
+		pen = sig[len(bt.guards):]
+	}
+	out.costs = out.costs[:0]
+	var ev vm.Event
+	k := 0
+	for _, pc := range bt.pcs {
+		ev.PC = int(pc)
+		ev.MemPenalty = 0
+		if m.pcT[pc].refsMem {
+			if pen != nil {
+				ev.MemPenalty = int(pen[k])
+			}
+			k++
+		}
+		cost := sim.Retire(ev)
+		out.costs = append(out.costs, uint32(cost))
+	}
+	out.delta = sim.now
+	out.pairs = sim.paired
+	out.writes = out.writes[:0]
+	var written [isa.NumRegs]bool
+	for _, pc := range bt.pcs {
+		for _, r := range m.pcT[pc].writes {
+			written[r] = true
+		}
+	}
+	for r := range written {
+		if written[r] {
+			out.writes = append(out.writes, regReady{reg: isa.Reg(r), off: sim.readyAt[r]})
+		}
+	}
+	out.exitU = sim.haveU
+	if sim.haveU {
+		out.uOff = sim.uIssue
+		out.uT = sim.uT
+	}
+}
+
+// apply shifts the schedule by the model's current clock and commits it.
+func (m *Model) apply(s *blockSched) {
+	base := m.now
+	m.now = base + s.delta
+	m.paired += s.pairs
+	for i := range s.writes {
+		w := &s.writes[i]
+		m.readyAt[w.reg] = base + w.off
+	}
+	m.haveU = s.exitU
+	if s.exitU {
+		m.uIssue = base + s.uOff
+		m.uT = s.uT
+	}
+}
+
+// RetireBlock applies a precomputed timing schedule of basic block bi (as
+// numbered by the bound program's Blocks) in one step, given the cache
+// penalties charged to the body's memory references this execution (in
+// body order; nil or empty for memory-free bodies). It returns the
+// per-event cycle costs the schedule charged — immutable for the model's
+// lifetime, with slice identity naming the schedule, so callers may batch
+// repeated applications by comparing pointers — letting the caller
+// attribute cycles per PC, or
+// nil, having changed nothing, when the model is unbound, the block has no
+// event-emitting body, or the entry state matches no precomputed schedule;
+// the caller must then retire the body per-event.
+func (m *Model) RetireBlock(bi int, penalties []int32) []uint32 {
+	if bi < 0 || bi >= len(m.blockT) {
+		return nil
+	}
+	bt := &m.blockT[bi]
+	if bt.clean.costs == nil {
+		return nil
+	}
+	if m.haveU && bt.pairRisk {
+		return nil
+	}
+	base := m.now
+	clean := true
+	for _, r := range bt.guards {
+		if m.readyAt[r] > base {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		clean = len(penalties) == 0
+		for _, p := range penalties {
+			if p != 0 {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		m.apply(&bt.clean)
+		return bt.clean.costs
+	}
+
+	// Non-clean entry: build the (lags, penalties) signature and look it
+	// up in the block's variant table.
+	sig := m.sigBuf[:0]
+	for _, r := range bt.guards {
+		lag := uint64(0)
+		if rt := m.readyAt[r]; rt > base {
+			lag = rt - base
+			if lag > maxSigEntry {
+				m.sigBuf = sig
+				return nil
+			}
+		}
+		sig = append(sig, uint8(lag))
+	}
+	if len(penalties) != bt.memN {
+		// Penalty vector from a different program's block shape; decline.
+		m.sigBuf = sig
+		return nil
+	}
+	for _, p := range penalties {
+		if p < 0 || p > maxSigEntry {
+			m.sigBuf = sig
+			return nil
+		}
+		sig = append(sig, uint8(p))
+	}
+	m.sigBuf = sig
+	if h := bt.lastHit; h < len(bt.variants) && sigEqual(bt.variants[h].sig, sig) {
+		v := &bt.variants[h]
+		m.apply(&v.s)
+		return v.s.costs
+	}
+	for vi := range bt.variants {
+		v := &bt.variants[vi]
+		if sigEqual(v.sig, sig) {
+			bt.lastHit = vi
+			m.apply(&v.s)
+			return v.s.costs
+		}
+	}
+	// Miss: resolve this signature and cache it (round-robin overwrite
+	// once the table is full).
+	var v *blockVariant
+	if len(bt.variants) < maxVariants {
+		bt.variants = append(bt.variants, blockVariant{})
+		bt.lastHit = len(bt.variants) - 1
+		v = &bt.variants[bt.lastHit]
+	} else {
+		bt.lastHit = bt.nextVar
+		v = &bt.variants[bt.nextVar]
+		bt.nextVar = (bt.nextVar + 1) % maxVariants
+		// Never reuse the evicted schedule's costs backing: callers batch
+		// fast-path applications by cost-slice identity, so a returned
+		// slice must stay immutable for the run's lifetime.
+		v.s.costs = nil
+	}
+	v.sig = append(v.sig[:0], sig...)
+	m.replayBlock(bt, v.sig, &v.s)
+	m.apply(&v.s)
+	return v.s.costs
+}
+
+func sigEqual(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockCosts returns the clean-entry static per-event cycle costs of block
+// bi's body under this model's configuration, or nil for an unbound model,
+// an out-of-range index, or an event-free body. The slice is shared and
+// read-only.
+func (m *Model) BlockCosts(bi int) []uint32 {
+	if bi < 0 || bi >= len(m.blockT) {
+		return nil
+	}
+	return m.blockT[bi].clean.costs
+}

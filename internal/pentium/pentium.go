@@ -87,6 +87,13 @@ type Model struct {
 	// pcT is the per-PC timing table installed by Bind; nil models derive
 	// timing from each event's Inst on the fly.
 	pcT []instTiming
+	// blockT is the per-block static schedule table installed by Bind
+	// (see block.go); nil models decline RetireBlock. sim is the lazily
+	// allocated scratch model block replays run on, sigBuf the reusable
+	// signature buffer RetireBlock builds lookups in.
+	blockT []blockTiming
+	sim    *Model
+	sigBuf []uint8
 	// scratch holds two alternating slots for the unbound path: the
 	// current instruction's timing plus the pending U instruction's (which
 	// survives exactly one event, so two slots suffice).
@@ -115,6 +122,7 @@ func (m *Model) Bind(prog *asm.Program) {
 	for i := range meta {
 		m.fillTiming(&m.pcT[i], prog.Insts[i].Op, &meta[i])
 	}
+	m.bindBlocks(prog)
 }
 
 // fillTiming resolves one instruction's timing under the configuration.

@@ -1,0 +1,155 @@
+// Block-level observation: the Collector implements vm.BlockObserver, so
+// the interpreter hands it one ObserveBlock call per executed basic block
+// instead of one Retire per instruction. Each block's counter updates —
+// instruction, uop, memory-reference, class, opcode, MMX-category and
+// per-PC counts — are summed once at construction from the static
+// isa.BlockAgg, and the matching cycle attribution comes from the timing
+// model's precomputed block schedules (clean or signature-memoized — see
+// pentium.RetireBlock). When no precomputed schedule matches the entry
+// state, the events are reconstructed and replayed through the exact
+// per-event Retire — block bodies are straight-line code, so PC,
+// instruction, measured flag and memory penalty fully determine each event.
+package profile
+
+import (
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/vm"
+)
+
+// pendEntry counts measured fast-path executions of one block schedule not
+// yet folded into the counters. Schedules are identified by the backing
+// array of their costs slice (&costs[0]) — the timing model never mutates
+// or reuses a returned costs slice, so equal pointer means equal schedule.
+type pendEntry struct {
+	costs []uint32
+	n     uint64
+}
+
+// blockAgg is one basic block's precomputed observation update, plus the
+// per-schedule batch counts of fast-path executions not yet folded into
+// the counters. Counters are all commutative sums, so deferring the fold
+// until Report is exact — and blocks whose cache-penalty pattern cycles
+// through a few schedule variants batch each variant independently rather
+// than flushing on every alternation.
+type blockAgg struct {
+	agg  isa.BlockAgg
+	pend []pendEntry
+}
+
+// initBlocks builds the per-block aggregates. The model must already be
+// bound to prog (core.Run binds before constructing the collector); an
+// unbound model degrades to per-event replay for every block.
+func (c *Collector) initBlocks() {
+	blocks := c.Prog.Blocks()
+	c.blocks = make([]blockAgg, len(blocks))
+	for bi := range blocks {
+		info := &blocks[bi]
+		c.blocks[bi].agg = isa.BlockAggFor(c.Prog.Insts, c.meta, info.Start, info.End, info.Term)
+	}
+}
+
+// ObserveBlock implements vm.BlockObserver.
+func (c *Collector) ObserveBlock(bi int, measured bool, penalties []int32) {
+	if bi < 0 || bi >= len(c.blocks) {
+		return
+	}
+	ba := &c.blocks[bi]
+	n := len(ba.agg.PCs)
+	if n == 0 {
+		return
+	}
+	if costs := c.Model.RetireBlock(bi, penalties); costs != nil {
+		c.fastEvents += uint64(n)
+		if !measured {
+			return
+		}
+		id := &costs[0]
+		for i := range ba.pend {
+			if &ba.pend[i].costs[0] == id {
+				ba.pend[i].n++
+				return
+			}
+		}
+		// A block that keeps evicting timing variants mints fresh cost
+		// slices; fold and reset the table before it grows without bound.
+		if len(ba.pend) >= 16 {
+			for i := range ba.pend {
+				c.flushBlock(ba, &ba.pend[i])
+			}
+			ba.pend = ba.pend[:0]
+		}
+		ba.pend = append(ba.pend, pendEntry{costs: costs, n: 1})
+		return
+	}
+	// Exact per-event replay: reconstruct each body event and price it
+	// directly (bypassing Retire's run-length batch, which consecutive
+	// distinct PCs would flush every event).
+	k := 0
+	for i, pc := range ba.agg.PCs {
+		ev := vm.Event{PC: int(pc), Inst: &c.Prog.Insts[pc], Measured: measured}
+		if ba.agg.IsMem[i] {
+			ev.MemPenalty = int(penalties[k])
+			k++
+		}
+		c.perEvents++
+		cost := c.Model.Retire(ev)
+		if measured {
+			c.tally(int(pc), uint64(cost), 1)
+		}
+	}
+}
+
+// flushBlock folds one schedule's pending batch into the counters.
+func (c *Collector) flushBlock(ba *blockAgg, pe *pendEntry) {
+	n := pe.n
+	if n == 0 {
+		return
+	}
+	pe.n = 0
+	costs := pe.costs
+	c.dyn += uint64(len(ba.agg.PCs)) * n
+	c.uops += ba.agg.Uops * n
+	c.memRefs += ba.agg.MemRefs * n
+	for _, cc := range ba.agg.Classes {
+		c.classCounts[cc.Class] += cc.N * n
+	}
+	for cat, cn := range ba.agg.MMXCat {
+		if cn != 0 {
+			c.mmxCat[cat] += cn * n
+		}
+	}
+	var cyc uint64
+	for i, pc := range ba.agg.PCs {
+		cost := uint64(costs[i])
+		cyc += cost
+		c.pcCounts[pc] += n
+		c.pcCycles[pc] += cost * n
+		c.classCycles[c.meta[pc].Class] += cost * n
+	}
+	c.cycles += cyc * n
+	for _, oc := range ba.agg.Ops {
+		c.opCounts[oc.Op] += oc.N * n
+		if oc.Op == isa.CALL {
+			c.calls += oc.N * n
+		}
+	}
+}
+
+// flushBlocks folds every pending batch; counters are only complete after.
+func (c *Collector) flushBlocks() {
+	for i := range c.blocks {
+		ba := &c.blocks[i]
+		for j := range ba.pend {
+			c.flushBlock(ba, &ba.pend[j])
+		}
+	}
+}
+
+// BlockStats reports how many retired events were applied through the fused
+// block fast path versus the per-event path (including per-event block
+// replays, terminators, and runs on the non-block interpreters). The split
+// is diagnostic only and deliberately kept out of Report, which must stay
+// byte-identical across dispatch modes.
+func (c *Collector) BlockStats() (fastEvents, perEvents uint64) {
+	return c.fastEvents, c.perEvents
+}

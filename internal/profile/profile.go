@@ -44,42 +44,86 @@ type Collector struct {
 	classCycles [isa.NumClasses]uint64
 	mmxCat      [5]uint64 // indexed by isa.MMXCategory
 	opCounts    [isa.NumOps]uint64
+
+	// blocks holds the per-block aggregate updates for ObserveBlock (see
+	// block.go); fastEvents/perEvents split retired events by path.
+	blocks     []blockAgg
+	fastEvents uint64
+	perEvents  uint64
+
+	// Run-length batch of per-event retirements: every measured counter
+	// update is a pure function of (PC, cycle cost), and under block
+	// dispatch consecutive Retire calls are the same loop terminator at
+	// the same steady-state cost, so identical consecutive events fold
+	// into one count flushed on change (or at Report).
+	runPC   int32
+	runCost uint32
+	runN    uint64
 }
 
-// NewCollector builds a collector for one program run.
+// NewCollector builds a collector for one program run. The model should
+// already be bound to prog; block-level observation degrades to per-event
+// replay otherwise.
 func NewCollector(prog *asm.Program, model *pentium.Model) *Collector {
-	return &Collector{
+	c := &Collector{
 		Model:    model,
 		Prog:     prog,
 		meta:     prog.InstMeta(),
 		pcCounts: make([]uint64, len(prog.Insts)),
 		pcCycles: make([]uint64, len(prog.Insts)),
 	}
+	c.initBlocks()
+	return c
 }
 
 // Retire implements vm.Observer.
 func (c *Collector) Retire(ev vm.Event) {
+	c.perEvents++
 	cost := c.Model.Retire(ev)
 	if !ev.Measured {
 		return
 	}
-	md := &c.meta[ev.PC]
-	c.dyn++
-	c.cycles += uint64(cost)
-	c.uops += uint64(md.Uops)
-	if md.RefsMem {
-		c.memRefs++
+	if int32(ev.PC) == c.runPC && uint32(cost) == c.runCost && c.runN != 0 {
+		c.runN++
+		return
 	}
-	op := ev.Inst.Op
+	c.flushRun()
+	c.runPC = int32(ev.PC)
+	c.runCost = uint32(cost)
+	c.runN = 1
+}
+
+// flushRun folds the pending run of identical retirements into the
+// counters.
+func (c *Collector) flushRun() {
+	n := c.runN
+	if n == 0 {
+		return
+	}
+	c.runN = 0
+	c.tally(int(c.runPC), uint64(c.runCost), n)
+}
+
+// tally applies n measured retirements of the instruction at pc, each
+// charged cost cycles.
+func (c *Collector) tally(pc int, cost uint64, n uint64) {
+	md := &c.meta[pc]
+	c.dyn += n
+	c.cycles += cost * n
+	c.uops += uint64(md.Uops) * n
+	if md.RefsMem {
+		c.memRefs += n
+	}
+	op := c.Prog.Insts[pc].Op
 	cl := md.Class
-	c.classCounts[cl]++
-	c.classCycles[cl] += uint64(cost)
-	c.mmxCat[md.Category]++
-	c.pcCounts[ev.PC]++
-	c.pcCycles[ev.PC] += uint64(cost)
-	c.opCounts[op]++
+	c.classCounts[cl] += n
+	c.classCycles[cl] += cost * n
+	c.mmxCat[md.Category] += n
+	c.pcCounts[pc] += n
+	c.pcCycles[pc] += cost * n
+	c.opCounts[op] += n
 	if op == isa.CALL {
-		c.calls++
+		c.calls += n
 	}
 }
 
@@ -127,6 +171,8 @@ type ProcProfile struct {
 
 // Report builds the final report.
 func (c *Collector) Report(name string) *Report {
+	c.flushRun()
+	c.flushBlocks()
 	var static uint64
 	for _, n := range c.pcCounts {
 		if n > 0 {

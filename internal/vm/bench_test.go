@@ -57,8 +57,35 @@ func BenchmarkStep(b *testing.B) {
 	})
 	b.Run("predecoded", func(b *testing.B) {
 		code := Compile(prog)
+		run(b, func() *CPU {
+			c := NewWithCode(code)
+			// With no observer the block loop would engage; pin the
+			// per-event predecoded loop this subbenchmark measures.
+			c.NoBlocks = true
+			return c
+		})
+	})
+	b.Run("block", func(b *testing.B) {
+		code := Compile(prog)
 		run(b, func() *CPU { return NewWithCode(code) })
 	})
+}
+
+// BenchmarkBlockStep measures the block-dispatch loop alone (no observer:
+// fused superhandlers with batched retirement bookkeeping). scripts/check.sh
+// runs it for one iteration as a smoke test.
+func BenchmarkBlockStep(b *testing.B) {
+	prog := benchProg()
+	code := Compile(prog)
+	n := int64(0)
+	for i := 0; i < b.N; i++ {
+		c := NewWithCode(code)
+		if err := c.Run(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+		n += c.Executed()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/instr")
 }
 
 // BenchmarkCompile measures the one-time predecode cost itself.

@@ -1,0 +1,115 @@
+package vm_test
+
+// Tests for the block-dispatch loop's interaction with the cache hierarchy:
+// memory-bearing blocks collect per-reference penalties from mem.Hierarchy,
+// and whether an execution is applied through the fused block schedule or
+// replayed per-event, the cache statistics and the profiling report must
+// match the per-event predecoded path exactly.
+
+import (
+	"reflect"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/mem"
+	"mmxdsp/internal/pentium"
+	"mmxdsp/internal/profile"
+	"mmxdsp/internal/vm"
+)
+
+// buildStreamProg walks a buffer much larger than the L1 cache with a
+// line-sized stride, so the measured loop's memory-bearing block sees a
+// mix of L1 misses (first pass, capacity misses) and hits.
+func buildStreamProg(t *testing.T) *asm.Program {
+	t.Helper()
+	const bufBytes = 1 << 16
+	b := asm.NewBuilder("stream")
+	b.Reserve("buf", bufBytes)
+	b.I(isa.PROFON)
+	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(4))
+	b.Label("pass")
+	b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("buf", 0))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(bufBytes/32))
+	b.Label("loop")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.MemD(isa.ESI, 0))
+	b.I(isa.ADD, asm.R(isa.EAX), asm.Imm(7))
+	b.I(isa.MOV, asm.MemD(isa.ESI, 0), asm.R(isa.EAX))
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(32))
+	b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(1))
+	b.J(isa.JNE, "loop")
+	b.I(isa.SUB, asm.R(isa.EDX), asm.Imm(1))
+	b.J(isa.JNE, "pass")
+	b.I(isa.PROFOFF)
+	b.I(isa.HALT)
+	return b.MustLink()
+}
+
+// runHier runs prog with the full timing pipeline and a cache hierarchy on
+// the requested dispatch path.
+func runHier(t *testing.T, prog *asm.Program, noBlocks bool) (*profile.Report, *profile.Collector, mem.HierarchyStats) {
+	t.Helper()
+	model := pentium.New(pentium.DefaultConfig())
+	model.Bind(prog)
+	col := profile.NewCollector(prog, model)
+	cpu := vm.New(prog)
+	cpu.Obs = col
+	cpu.NoBlocks = noBlocks
+	cpu.Hier = mem.NewHierarchy()
+	if err := cpu.Run(1 << 30); err != nil {
+		t.Fatalf("run (noBlocks=%v): %v", noBlocks, err)
+	}
+	return col.Report(prog.Name), col, cpu.Hier.Stats
+}
+
+func TestBlockPathCacheCountersMatchPredecoded(t *testing.T) {
+	prog := buildStreamProg(t)
+
+	preRep, _, preStats := runHier(t, prog, true)
+	blkRep, blkCol, blkStats := runHier(t, prog, false)
+
+	if preStats.L1Misses == 0 {
+		t.Fatal("stream program produced no L1 misses; the test is vacuous")
+	}
+	if blkStats != preStats {
+		t.Errorf("cache statistics differ:\n predecoded %+v\n block %+v", preStats, blkStats)
+	}
+	if !reflect.DeepEqual(preRep, blkRep) {
+		t.Errorf("reports differ:\n predecoded %+v\n block %+v", preRep, blkRep)
+	}
+
+	// The block run must have exercised both observer paths: fused
+	// fast-path applications and per-event retirement (at least the loop
+	// terminators and the first-sight penalty signatures).
+	fast, perEvent := blkCol.BlockStats()
+	if fast == 0 {
+		t.Error("block run applied no fused block schedules")
+	}
+	if perEvent == 0 {
+		t.Error("block run retired no events per-event (terminators should)")
+	}
+}
+
+// TestBlockPathPerfectCacheMatches covers the no-hierarchy configuration:
+// with no cache model attached there are no penalties, and the two paths
+// must still agree on the report.
+func TestBlockPathPerfectCacheMatches(t *testing.T) {
+	prog := buildStreamProg(t)
+
+	run := func(noBlocks bool) *profile.Report {
+		model := pentium.New(pentium.DefaultConfig())
+		model.Bind(prog)
+		col := profile.NewCollector(prog, model)
+		cpu := vm.New(prog)
+		cpu.Obs = col
+		cpu.NoBlocks = noBlocks
+		if err := cpu.Run(1 << 30); err != nil {
+			t.Fatalf("run (noBlocks=%v): %v", noBlocks, err)
+		}
+		return col.Report(prog.Name)
+	}
+	pre, blk := run(true), run(false)
+	if !reflect.DeepEqual(pre, blk) {
+		t.Errorf("reports differ:\n predecoded %+v\n block %+v", pre, blk)
+	}
+}

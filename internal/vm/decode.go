@@ -37,6 +37,11 @@ type decoded struct {
 	exec execFn
 	inst *isa.Inst
 	kind uint8
+	// spec marks a specialized handler (compileSpecialized succeeded);
+	// refsMem marks instructions with memory references. Both feed the
+	// fused-block eligibility test in block.go.
+	spec    bool
+	refsMem bool
 }
 
 // Code is a predecoded program: one handler per PC. A Code value is
@@ -45,16 +50,22 @@ type decoded struct {
 type Code struct {
 	prog *asm.Program
 	ops  []decoded
+	// blocks and blockOf are the block-dispatch tables (see block.go):
+	// one vmBlock per basic block, and the owning block index per PC.
+	blocks  []vmBlock
+	blockOf []int32
 }
 
 // Compile predecodes a linked program. The cost is one pass over the static
 // instructions; every CPU built from the result skips per-step decode.
 func Compile(p *asm.Program) *Code {
 	c := &Code{prog: p, ops: make([]decoded, len(p.Insts))}
+	meta := p.InstMeta()
 	for i := range p.Insts {
 		in := &p.Insts[i]
 		d := &c.ops[i]
 		d.inst = in
+		d.refsMem = meta[i].RefsMem
 		switch in.Op {
 		case isa.NOP:
 			d.kind = dNop
@@ -64,9 +75,15 @@ func Compile(p *asm.Program) *Code {
 			d.kind = dProfOff
 		default:
 			d.kind = dNormal
-			d.exec = compileInst(in)
+			if h := compileSpecialized(in); h != nil {
+				d.exec = h
+				d.spec = true
+			} else {
+				d.exec = genericExec(in)
+			}
 		}
 	}
+	c.buildBlocks()
 	return c
 }
 
@@ -342,15 +359,6 @@ func condFn(op isa.Op) func(*CPU) bool {
 		return func(c *CPU) bool { return !c.sf }
 	}
 	return nil
-}
-
-// compileInst lowers one instruction into its specialized handler, or a
-// generic-path closure when no specialization applies.
-func compileInst(in *isa.Inst) execFn {
-	if h := compileSpecialized(in); h != nil {
-		return h
-	}
-	return genericExec(in)
 }
 
 func compileSpecialized(in *isa.Inst) execFn {

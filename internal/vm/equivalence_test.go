@@ -1,12 +1,15 @@
 package vm_test
 
-// Differential test for the predecoded interpreter: every program in the
-// benchmark suite runs through both the generic decode-per-step loop and the
-// predecoded threaded-dispatch loop, with the full timing pipeline attached
-// (bound Pentium model, profile collector, cache hierarchy). The two paths
-// must agree on every architecturally visible outcome: registers, the entire
-// memory image, the profiling report (cycles, pairing, class attribution,
-// cache statistics) and a hash over the complete retired-event stream.
+// Differential tests for the interpreter inner loops: every program in the
+// benchmark suite runs through the generic decode-per-step loop, the
+// predecoded threaded-dispatch loop, and the block-dispatch loop, with the
+// full timing pipeline attached (bound Pentium model, profile collector,
+// cache hierarchy). All paths must agree on every architecturally visible
+// outcome: registers, the entire memory image, and the profiling report
+// (cycles, pairing, class attribution, cache statistics). The two per-event
+// paths additionally compare a hash over the complete retired-event stream;
+// the block path retires whole blocks at a time, so it has no per-event
+// stream to hash, and is instead pinned by the report and machine state.
 
 import (
 	"bytes"
@@ -66,7 +69,7 @@ type runOutcome struct {
 	events    uint64
 }
 
-func runPath(t *testing.T, prog *asm.Program, generic bool) *runOutcome {
+func runPath(t *testing.T, prog *asm.Program, mode string) *runOutcome {
 	t.Helper()
 	cfg := pentium.DefaultConfig()
 	model := pentium.New(cfg)
@@ -75,11 +78,22 @@ func runPath(t *testing.T, prog *asm.Program, generic bool) *runOutcome {
 	hasher := &eventHasher{next: col}
 
 	cpu := vm.New(prog)
-	cpu.Generic = generic
-	cpu.Obs = hasher
+	switch mode {
+	case "generic":
+		cpu.Generic = true
+		cpu.Obs = hasher
+	case "predecode":
+		// An event-hashing observer is not a BlockObserver, so attaching
+		// it pins the per-event predecoded loop.
+		cpu.Obs = hasher
+	case "block":
+		cpu.Obs = col
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
 	cpu.Hier = mem.NewHierarchy()
 	if err := cpu.Run(1 << 31); err != nil {
-		t.Fatalf("run (generic=%v): %v", generic, err)
+		t.Fatalf("run (%s): %v", mode, err)
 	}
 
 	out := &runOutcome{
@@ -100,7 +114,46 @@ func runPath(t *testing.T, prog *asm.Program, generic bool) *runOutcome {
 	return out
 }
 
-func TestPredecodedMatchesGeneric(t *testing.T) {
+// compareOutcomes fails the test wherever two interpreter paths disagree.
+// Event-stream hashes are only compared when both paths collected one (the
+// block path retires bodies in bulk and records no per-event stream).
+func compareOutcomes(t *testing.T, aName string, a *runOutcome, bName string, b *runOutcome) {
+	t.Helper()
+	if a.gpr != b.gpr {
+		t.Errorf("GPRs differ:\n %s %v\n %s %v", aName, a.gpr, bName, b.gpr)
+	}
+	if a.mm != b.mm {
+		t.Errorf("MM registers differ:\n %s %v\n %s %v", aName, a.mm, bName, b.mm)
+	}
+	if a.fp != b.fp {
+		t.Errorf("FP registers differ:\n %s %v\n %s %v", aName, a.fp, bName, b.fp)
+	}
+	if a.executed != b.executed {
+		t.Errorf("executed: %s %d, %s %d", aName, a.executed, bName, b.executed)
+	}
+	if a.events != 0 && b.events != 0 &&
+		(a.events != b.events || a.eventHash != b.eventHash) {
+		t.Errorf("event streams differ: %s %d events hash %#x, %s %d events hash %#x",
+			aName, a.events, a.eventHash, bName, b.events, b.eventHash)
+	}
+	if !bytes.Equal(a.mem, b.mem) {
+		for i := range a.mem {
+			if a.mem[i] != b.mem[i] {
+				t.Errorf("memory images differ first at %#x: %s %#x, %s %#x",
+					i, aName, a.mem[i], bName, b.mem[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.report, b.report) {
+		t.Errorf("reports differ:\n %s %+v\n %s %+v", aName, a.report, bName, b.report)
+	}
+}
+
+// TestDispatchModesAgree is the three-way differential over the whole
+// benchmark suite: generic, predecoded and block dispatch must be
+// observationally identical.
+func TestDispatchModesAgree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite differential run is slow; skipped with -short")
 	}
@@ -112,37 +165,12 @@ func TestPredecodedMatchesGeneric(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			gen := runPath(t, prog, true)
-			pre := runPath(t, prog, false)
+			gen := runPath(t, prog, "generic")
+			pre := runPath(t, prog, "predecode")
+			blk := runPath(t, prog, "block")
 
-			if gen.gpr != pre.gpr {
-				t.Errorf("GPRs differ:\n generic %v\n predecoded %v", gen.gpr, pre.gpr)
-			}
-			if gen.mm != pre.mm {
-				t.Errorf("MM registers differ:\n generic %v\n predecoded %v", gen.mm, pre.mm)
-			}
-			if gen.fp != pre.fp {
-				t.Errorf("FP registers differ:\n generic %v\n predecoded %v", gen.fp, pre.fp)
-			}
-			if gen.executed != pre.executed {
-				t.Errorf("executed: generic %d, predecoded %d", gen.executed, pre.executed)
-			}
-			if gen.events != pre.events || gen.eventHash != pre.eventHash {
-				t.Errorf("event streams differ: generic %d events hash %#x, predecoded %d events hash %#x",
-					gen.events, gen.eventHash, pre.events, pre.eventHash)
-			}
-			if !bytes.Equal(gen.mem, pre.mem) {
-				for i := range gen.mem {
-					if gen.mem[i] != pre.mem[i] {
-						t.Errorf("memory images differ first at %#x: generic %#x, predecoded %#x",
-							i, gen.mem[i], pre.mem[i])
-						break
-					}
-				}
-			}
-			if !reflect.DeepEqual(gen.report, pre.report) {
-				t.Errorf("reports differ:\n generic %+v\n predecoded %+v", gen.report, pre.report)
-			}
+			compareOutcomes(t, "generic", gen, "predecoded", pre)
+			compareOutcomes(t, "predecoded", pre, "block", blk)
 		})
 	}
 }

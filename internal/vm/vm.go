@@ -52,6 +52,11 @@ type CPU struct {
 	// exists for differential testing: the predecoded and generic paths
 	// must produce identical registers, memory, events and faults.
 	Generic bool
+	// NoBlocks disables the block dispatcher (see block.go), forcing the
+	// per-event predecoded loop even for observers that support block
+	// retirement. Differential tests pin all three paths against each
+	// other.
+	NoBlocks bool
 
 	gpr [8]uint32
 	mm  [8]mmx.Reg
@@ -123,15 +128,26 @@ func (c *CPU) fault(format string, args ...any) error {
 }
 
 // Run executes until HALT or until maxInstrs instructions have retired,
-// which guards against runaway programs. The default inner loop is
-// "indexed fetch -> call predecoded handler -> retire"; set Generic to run
-// the unspecialized decode-per-step interpreter instead.
+// which guards against runaway programs. The fastest applicable inner loop
+// is chosen automatically: block dispatch (block.go) when the observer
+// implements BlockObserver or is absent, otherwise the per-event predecoded
+// loop "indexed fetch -> call handler -> retire". Set NoBlocks to pin the
+// per-event loop, or Generic for the unspecialized decode-per-step
+// reference interpreter.
 func (c *CPU) Run(maxInstrs int64) error {
 	if c.Generic {
 		return c.runGeneric(maxInstrs)
 	}
 	if c.code == nil {
 		c.code = Compile(c.Prog)
+	}
+	if !c.NoBlocks {
+		if bobs, ok := c.Obs.(BlockObserver); ok {
+			return c.runBlocks(maxInstrs, bobs)
+		}
+		if c.Obs == nil {
+			return c.runBlocks(maxInstrs, nil)
+		}
 	}
 	ops := c.code.ops
 	// One Event is reused across iterations: the handler call takes its

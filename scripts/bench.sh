@@ -18,8 +18,15 @@ bin="$(mktemp -d)/mmxbench"
 trap 'rm -rf "$(dirname "$bin")"' EXIT
 go build -o "$bin" ./cmd/mmxbench
 
-echo "==> mmxbench -bench-json $out"
-"$bin" -skip-check -bench-json "$out" -table2 >/dev/null
+# Stamp the artifact with the commit it measures (empty outside a checkout)
+# and the dispatch mode, so two BENCH_interp.json files are comparable by
+# scripts/bench_diff.sh without guessing their provenance.
+commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
+dispatch="${DISPATCH:-auto}"
+
+echo "==> mmxbench -dispatch $dispatch -bench-json $out"
+"$bin" -skip-check -dispatch "$dispatch" -bench-commit "$commit" \
+    -bench-json "$out" -table2 >/dev/null
 
 echo "==> $out"
 grep -E '"(geomean|aggregate)_instrs_per_sec"|"suite_wall_seconds"' "$out"

@@ -6,6 +6,9 @@
 #   scripts/check.sh -short   # pass flags through to `go test ./...`
 #   BENCH=1 scripts/check.sh  # additionally refresh BENCH_interp.json
 #                             # (throughput measurement; not part of the gate)
+#   BENCH_BASELINE=old.json scripts/check.sh
+#                             # additionally measure throughput and fail on a
+#                             # >10% geomean regression against old.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,11 +26,34 @@ go test "$@" ./...
 echo "==> go test -race ./internal/core/... ./internal/suite/..."
 go test -race ./internal/core/... ./internal/suite/...
 
+# The three-way dispatch equivalence (generic / predecoded / block) also
+# runs under the race detector: block dispatch shares predecoded code and
+# per-block caches with the parallel suite runner above.
+echo "==> go test -race -run 'TestDispatchModesAgree|TestDispatchThreeWay' ./internal/vm ./internal/pentium"
+go test -race -run 'TestDispatchModesAgree|TestDispatchThreeWay' ./internal/vm ./internal/pentium
+
+# Smoke-run the block-dispatch benchmark for a single iteration so inner-
+# loop regressions that only bite under benchmarking surface here.
+echo "==> go test -run '^$' -bench BenchmarkBlockStep -benchtime 1x ./internal/vm"
+go test -run '^$' -bench BenchmarkBlockStep -benchtime 1x ./internal/vm >/dev/null
+
 # Optional: refresh the interpreter-throughput artifact. Wall-clock numbers
 # are host-dependent, so this never gates the build.
 if [[ "${BENCH:-0}" == "1" ]]; then
     echo "==> scripts/bench.sh"
     scripts/bench.sh
+fi
+
+# Optional: measure throughput and gate against a baseline artifact
+# (wall-clock comparison — only meaningful on the machine that produced the
+# baseline).
+if [[ -n "${BENCH_BASELINE:-}" ]]; then
+    new="$(mktemp)"
+    trap 'rm -f "$new"' EXIT
+    echo "==> scripts/bench.sh $new"
+    scripts/bench.sh "$new"
+    echo "==> scripts/bench_diff.sh $BENCH_BASELINE $new"
+    scripts/bench_diff.sh "$BENCH_BASELINE" "$new"
 fi
 
 echo "OK"
