@@ -1,0 +1,86 @@
+// Command mmxd is the long-running simulation daemon: it serves benchmark
+// runs of the simulated Pentium-with-MMX over HTTP/JSON, caching compiled
+// programs across requests and draining gracefully on SIGTERM.
+//
+// Usage:
+//
+//	mmxd                        # serve on :8931
+//	mmxd -addr 127.0.0.1:9000   # custom listen address
+//	mmxd -cache 128 -queue 256  # bigger artifact cache / admission queue
+//	mmxd -timeout 30s           # default per-request deadline
+//
+// Endpoints: POST /run, GET /table, GET /healthz, GET /metrics. See
+// internal/server for the request and response schemas, and the README's
+// "Running mmxd" section for examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mmxdsp/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8931", "listen address")
+		cacheSize = flag.Int("cache", 64, "compiled-program cache entries (LRU)")
+		workers   = flag.Int("workers", 0, "max concurrent simulations (0 = one per core)")
+		queue     = flag.Int("queue", 64, "admission-queue depth before 429")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-request deadline (0 = none)")
+		maxInstrs = flag.Int64("max-instrs", 0, "server-wide instruction-budget cap (0 = unlimited)")
+		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmxd [flags]")
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		CacheEntries:   *cacheSize,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxInstrsCap:   *maxInstrs,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mmxd: serving on %s (cache=%d queue=%d timeout=%s)",
+			*addr, *cacheSize, *queue, *timeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("mmxd: serve: %v", err)
+	case sig := <-sigCh:
+		// Graceful drain: stop advertising health, refuse new work, let
+		// requests already admitted finish within the grace period.
+		log.Printf("mmxd: %v: draining (grace %s)", sig, *grace)
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mmxd: shutdown: %v", err)
+			_ = httpSrv.Close()
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("mmxd: serve: %v", err)
+		}
+		log.Printf("mmxd: drained cleanly")
+	}
+}

@@ -1,0 +1,230 @@
+// End-to-end tests for the mmxd service: the full 19-program suite in all
+// three dispatch modes served over HTTP must be byte-equivalent to direct
+// core.Run reports, and the real daemon binary must drain gracefully on
+// SIGTERM.
+package mmxdsp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/server"
+	"mmxdsp/internal/suite"
+)
+
+// TestServedReportsMatchDirectRuns is the service acceptance gate: every
+// suite program, in every dispatch mode, served over HTTP, produces a
+// report byte-equivalent to a direct core.Run with the same options.
+func TestServedReportsMatchDirectRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 19x3 sweep (served and direct); skipped in -short mode")
+	}
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	benches := suite.All()
+	modes := []string{core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric}
+
+	for _, mode := range modes {
+		// Direct side: the cache-free reference, run on the suite pool.
+		direct, err := core.RunAll(benches, core.Options{SkipCheck: true, Dispatch: mode})
+		if err != nil {
+			t.Fatalf("direct RunAll(%s): %v", mode, err)
+		}
+		want := make(map[string]string, len(direct))
+		for name, res := range direct {
+			data, err := json.Marshal(res.Report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[name] = string(data)
+		}
+
+		// Served side: all programs concurrently through the daemon.
+		var wg sync.WaitGroup
+		errs := make(chan error, len(benches))
+		for _, bench := range benches {
+			name := bench.Name()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"program":%q,"dispatch":%q,"skip_check":true}`, name, mode)
+				resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("%s/%s: %v", name, mode, err)
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("%s/%s: reading response: %v", name, mode, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s/%s: status %d: %s", name, mode, resp.StatusCode, data)
+					return
+				}
+				var env struct {
+					Report json.RawMessage `json:"report"`
+				}
+				if err := json.Unmarshal(data, &env); err != nil {
+					errs <- fmt.Errorf("%s/%s: decode: %v", name, mode, err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := json.Compact(&buf, env.Report); err != nil {
+					errs <- fmt.Errorf("%s/%s: compact: %v", name, mode, err)
+					return
+				}
+				if buf.String() != want[name] {
+					errs <- fmt.Errorf("%s/%s: served report is not byte-equivalent to direct core.Run", name, mode)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if wantRuns := int64(len(benches) * len(modes)); m.RunsOK != wantRuns {
+		t.Errorf("runs_ok = %d, want %d", m.RunsOK, wantRuns)
+	}
+	if m.CacheMisses != uint64(len(benches)*len(modes)) {
+		t.Errorf("cache_misses = %d, want %d (each program+mode compiles once)", m.CacheMisses, len(benches)*len(modes))
+	}
+}
+
+// TestDaemonSIGTERMDrain exercises the real binary: build cmd/mmxd, serve
+// a request, then SIGTERM with a request in flight — the in-flight run
+// completes, new work is refused, and the process exits cleanly.
+func TestDaemonSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary; skipped in -short mode")
+	}
+	bin := t.TempDir() + "/mmxd"
+	build := exec.Command("go", "build", "-o", bin, "./cmd/mmxd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mmxd: %v\n%s", err, out)
+	}
+
+	// Reserve a port, release it, and hand it to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	daemon := exec.Command(bin, "-addr", addr, "-grace", "30s")
+	var logs bytes.Buffer
+	daemon.Stdout, daemon.Stderr = &logs, &logs
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting mmxd: %v", err)
+	}
+	defer daemon.Process.Kill()
+
+	base := "http://" + addr
+	waitHealthy := func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !waitHealthy() {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy\n%s", logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// One warm-up run end to end through the real daemon.
+	resp, err := http.Post(base+"/run", "application/json",
+		strings.NewReader(`{"program":"fir.mmx","skip_check":true}`))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon run: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Put a slower request in flight, then SIGTERM under it.
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/run", "application/json",
+			strings.NewReader(`{"program":"jpeg.c","skip_check":true}`))
+		if err != nil {
+			inflight <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	started := func() bool {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var m server.MetricsSnapshot
+		if json.NewDecoder(resp.Body).Decode(&m) != nil {
+			return false
+		}
+		return m.ActiveRuns >= 1
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for !started() {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight run never started\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	// The admitted request must complete despite the drain.
+	select {
+	case status := <-inflight:
+		if status != http.StatusOK {
+			t.Errorf("in-flight run during drain: status %d\n%s", status, logs.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("in-flight request did not complete during drain")
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v\n%s", err, logs.String())
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Errorf("daemon logs missing drain confirmation:\n%s", logs.String())
+	}
+}

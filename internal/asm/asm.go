@@ -105,6 +105,13 @@ func (p *Program) Listing() string {
 		}
 		fmt.Fprintf(&b, "%6d    %s\n", i, in.String())
 	}
+	// Labels may point one past the last instruction (end labels); keep
+	// them so the listing is a complete serialization of the code.
+	trailing := byIndex[len(p.Insts)]
+	sort.Strings(trailing)
+	for _, l := range trailing {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
 	return b.String()
 }
 
@@ -313,6 +320,10 @@ func (b *Builder) Link() (*Program, error) {
 		default:
 			return fmt.Errorf("asm(%s): instruction %d: symbol on %v operand", b.name, i, o.Kind)
 		}
+		// The symbol is folded into the displacement now; dropping it keeps
+		// listings self-contained (ParseSource round-trips them without the
+		// data segment).
+		o.Sym = ""
 		return nil
 	}
 	for i := range insts {

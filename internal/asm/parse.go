@@ -1,0 +1,398 @@
+// A textual front end for the macro-assembler. ParseSource accepts the
+// syntax Program.Listing and isa.Inst.String render — labels,
+// Intel-operand-order instructions, ';' comments, optional leading
+// instruction indices — plus a handful of data directives, and drives the
+// same Builder/Link pipeline the Go macro programs use. Listings of linked
+// programs round-trip: ParseSource(p.Listing()) reproduces p's instruction
+// stream exactly (data placement is not part of a listing).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mmxdsp/internal/isa"
+)
+
+// maxReserve bounds a single .reserve directive so hostile sources cannot
+// request absurd memory images.
+const maxReserve = 1 << 24
+
+var opLookup = sync.OnceValue(func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		m[op.Name()] = op
+	}
+	return m
+})
+
+var regLookup = sync.OnceValue(func() map[string]isa.Reg {
+	m := make(map[string]isa.Reg, isa.NumRegs)
+	for r := isa.Reg(1); int(r) < isa.NumRegs; r++ {
+		m[r.String()] = r
+	}
+	return m
+})
+
+var sizeLookup = map[string]isa.Size{
+	"byte": isa.SizeB, "word": isa.SizeW, "dword": isa.SizeD, "qword": isa.SizeQ,
+}
+
+// ParseSource assembles a textual program into a linked, executable
+// Program. Lines hold one of:
+//
+//	label:              a code label (may be followed by an instruction)
+//	op dst, src         an instruction in assembler syntax
+//	.entry              mark the entry point (default: instruction 0)
+//	.proc name          open a procedure extent (defines the label too)
+//	.bytes name v,...   initialized data (decimal or 0x values)
+//	.words name v,...
+//	.dwords name v,...
+//	.reserve name n     zero-initialized space
+//
+// ';' starts a comment; an optional leading decimal instruction index (as
+// printed by Program.Listing) is ignored. Errors carry 1-based line
+// numbers.
+func ParseSource(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm(%s): line %d: %w", name, ln+1, err)
+		}
+	}
+	return b.Link()
+}
+
+func parseLine(b *Builder, line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".") {
+		return parseDirective(b, line)
+	}
+	// Optional leading instruction index from a Listing.
+	if first, rest, ok := strings.Cut(line, " "); ok && isInt(first) {
+		line = strings.TrimSpace(rest)
+	} else if isInt(line) {
+		return fmt.Errorf("bare instruction index %q", line)
+	}
+	// Labels, possibly stacked before an instruction on the same line.
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 || !isIdent(line[:i]) {
+			break
+		}
+		// A ':' also appears in nothing else we parse, so this is a label.
+		b.Label(line[:i])
+		if len(b.errs) > 0 {
+			return b.errs[len(b.errs)-1]
+		}
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	return parseInst(b, line)
+}
+
+func parseDirective(b *Builder, line string) error {
+	dir, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch dir {
+	case ".entry":
+		if rest != "" {
+			return fmt.Errorf(".entry takes no operands")
+		}
+		b.Entry()
+		return nil
+	case ".proc":
+		if !isIdent(rest) {
+			return fmt.Errorf(".proc wants a name, got %q", rest)
+		}
+		b.Proc(rest)
+	case ".bytes", ".words", ".dwords":
+		name, vals, ok := strings.Cut(rest, " ")
+		if !ok || !isIdent(name) {
+			return fmt.Errorf("%s wants: %s name v,v,...", dir, dir)
+		}
+		nums, err := parseIntList(vals)
+		if err != nil {
+			return err
+		}
+		switch dir {
+		case ".bytes":
+			out := make([]byte, len(nums))
+			for i, v := range nums {
+				out[i] = byte(v)
+			}
+			b.Bytes(name, out)
+		case ".words":
+			out := make([]int16, len(nums))
+			for i, v := range nums {
+				out[i] = int16(v)
+			}
+			b.Words(name, out)
+		case ".dwords":
+			out := make([]int32, len(nums))
+			for i, v := range nums {
+				out[i] = int32(v)
+			}
+			b.Dwords(name, out)
+		}
+	case ".reserve":
+		name, szText, ok := strings.Cut(rest, " ")
+		if !ok || !isIdent(name) {
+			return fmt.Errorf(".reserve wants: .reserve name size")
+		}
+		sz, err := strconv.ParseInt(strings.TrimSpace(szText), 0, 64)
+		if err != nil || sz < 0 || sz > maxReserve {
+			return fmt.Errorf("bad .reserve size %q", szText)
+		}
+		b.Reserve(name, int(sz))
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+	if len(b.errs) > 0 {
+		return b.errs[len(b.errs)-1]
+	}
+	return nil
+}
+
+func parseInst(b *Builder, line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := opLookup()[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	rest = strings.TrimSpace(rest)
+
+	// Control transfers take a label operand, matching Builder.J/Call.
+	if op == isa.JMP || op == isa.CALL || op.IsBranch() {
+		if !isIdent(rest) {
+			return fmt.Errorf("%s wants a label, got %q", mnemonic, rest)
+		}
+		b.insts = append(b.insts, isa.Inst{Op: op, Target: -1, TargetSym: rest})
+		return nil
+	}
+
+	var operands []isa.Operand
+	if rest != "" {
+		for _, field := range strings.Split(rest, ",") {
+			o, err := parseOperand(strings.TrimSpace(field))
+			if err != nil {
+				return err
+			}
+			operands = append(operands, o)
+		}
+	}
+	if len(operands) > 2 {
+		return fmt.Errorf("%s: too many operands", mnemonic)
+	}
+	b.I(op, operands...)
+	if len(b.errs) > 0 {
+		return b.errs[len(b.errs)-1]
+	}
+	return nil
+}
+
+func parseOperand(text string) (isa.Operand, error) {
+	if text == "" {
+		return isa.Operand{}, fmt.Errorf("empty operand")
+	}
+	if r, ok := regLookup()[text]; ok {
+		return isa.Operand{Kind: isa.KindReg, Reg: r}, nil
+	}
+	// Memory operand, with optional width prefix.
+	memText := text
+	size := isa.SizeNone
+	if word, rest, ok := strings.Cut(text, " "); ok {
+		if s, isSize := sizeLookup[word]; isSize {
+			size = s
+			memText = strings.TrimSpace(rest)
+		}
+	}
+	if strings.HasPrefix(memText, "[") {
+		if !strings.HasSuffix(memText, "]") {
+			return isa.Operand{}, fmt.Errorf("unterminated memory operand %q", text)
+		}
+		return parseMem(memText[1:len(memText)-1], size)
+	}
+	if size != isa.SizeNone {
+		return isa.Operand{}, fmt.Errorf("width prefix on non-memory operand %q", text)
+	}
+	// Immediate.
+	if v, err := strconv.ParseInt(text, 0, 64); err == nil {
+		return isa.Operand{Kind: isa.KindImm, Imm: v}, nil
+	}
+	// A bare identifier is the address of a data symbol (resolved at
+	// link time), the textual form of ImmSym.
+	if isIdent(text) {
+		return isa.Operand{Kind: isa.KindImm, Sym: text}, nil
+	}
+	return isa.Operand{}, fmt.Errorf("bad operand %q", text)
+}
+
+// parseMem parses the inside of a bracketed effective address:
+// signed terms of the forms sym, base, index*scale and disp.
+func parseMem(body string, size isa.Size) (isa.Operand, error) {
+	o := isa.Operand{Kind: isa.KindMem, Size: size}
+	var disp int64
+	hasTerm := false
+	for _, t := range splitTerms(body) {
+		term := strings.TrimSpace(t.text)
+		if term == "" {
+			return o, fmt.Errorf("empty term in memory operand [%s]", body)
+		}
+		hasTerm = true
+		switch {
+		case isInt(term) || strings.HasPrefix(term, "0x"):
+			v, err := strconv.ParseInt(term, 0, 64)
+			if err != nil {
+				return o, fmt.Errorf("bad displacement %q", term)
+			}
+			if t.neg {
+				v = -v
+			}
+			disp += v
+		case t.neg:
+			return o, fmt.Errorf("negated non-numeric term %q", term)
+		case strings.ContainsRune(term, '*'):
+			regText, scaleText, _ := strings.Cut(term, "*")
+			r, ok := regLookup()[strings.TrimSpace(regText)]
+			if !ok || !r.IsGPR() {
+				return o, fmt.Errorf("bad index register %q", regText)
+			}
+			scale, err := strconv.ParseUint(strings.TrimSpace(scaleText), 10, 8)
+			if err != nil || (scale != 1 && scale != 2 && scale != 4 && scale != 8) {
+				return o, fmt.Errorf("bad scale %q (want 1, 2, 4 or 8)", scaleText)
+			}
+			if o.Index != isa.NoReg {
+				return o, fmt.Errorf("two index terms in [%s]", body)
+			}
+			o.Index, o.Scale = r, uint8(scale)
+		default:
+			if r, ok := regLookup()[term]; ok {
+				if !r.IsGPR() {
+					return o, fmt.Errorf("non-GPR %q in address", term)
+				}
+				switch {
+				case o.Reg == isa.NoReg:
+					o.Reg = r
+				case o.Index == isa.NoReg:
+					o.Index, o.Scale = r, 1
+				default:
+					return o, fmt.Errorf("three register terms in [%s]", body)
+				}
+				continue
+			}
+			if !isIdent(term) {
+				return o, fmt.Errorf("bad address term %q", term)
+			}
+			if o.Sym != "" {
+				return o, fmt.Errorf("two symbols in [%s]", body)
+			}
+			o.Sym = term
+		}
+	}
+	if !hasTerm {
+		return o, fmt.Errorf("empty memory operand")
+	}
+	if disp < -1<<31 || disp > 1<<31-1 {
+		return o, fmt.Errorf("displacement %d overflows 32 bits", disp)
+	}
+	o.Disp = int32(disp)
+	return o, nil
+}
+
+// signedTerm is one +/- separated component of an effective address.
+type signedTerm struct {
+	text string
+	neg  bool
+}
+
+// splitTerms splits "a+b-8" into {a,+}, {b,+}, {8,-}.
+func splitTerms(body string) []signedTerm {
+	var out []signedTerm
+	start, neg := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '+', '-':
+			if i == start && len(out) == 0 && body[i] == '-' {
+				// A leading '-' signs the first term ("[-8]").
+				continue
+			}
+			out = append(out, signedTerm{text: body[start:i], neg: neg})
+			neg = body[i] == '-'
+			start = i + 1
+		}
+	}
+	term := body[start:]
+	if strings.HasPrefix(strings.TrimSpace(body), "-") && len(out) == 0 {
+		term = strings.TrimPrefix(strings.TrimSpace(body), "-")
+		neg = true
+	}
+	out = append(out, signedTerm{text: term, neg: neg})
+	return out
+}
+
+func parseIntList(text string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(text, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in data list", strings.TrimSpace(f))
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// isInt reports whether s is a decimal integer (optionally signed).
+func isInt(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == '-' || s[0] == '+' {
+		s = s[1:]
+	}
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// isIdent reports whether s is a label/symbol identifier: it must start
+// with a letter or '_', and continue with those, digits or interior '.'s.
+// A leading '.' is reserved for directives — a label named "." would list
+// as ".:", which cannot re-parse.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9', c == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

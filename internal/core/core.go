@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -89,6 +90,12 @@ type Options struct {
 	// DispatchBlock, DispatchPredecode or DispatchGeneric). Run rejects
 	// unknown values.
 	Dispatch string
+	// Ctx, when non-nil, cancels work in flight: Run installs a VM poll
+	// hook that aborts the interpreter within vm.DefaultPollInterval
+	// retired instructions of cancellation (the returned error wraps
+	// ctx.Err()), and RunAll additionally skips benchmarks that have not
+	// started yet. nil means no cancellation.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the standard configuration.
@@ -139,8 +146,42 @@ func (r *Result) InstrsPerSec() float64 {
 	return float64(r.Report.DynamicInstructions) / r.Wall.Seconds()
 }
 
-// Run builds, executes, profiles and validates one benchmark.
+// Compiled is a benchmark built and predecoded once: the linked program
+// and its vm.Code. Both are immutable after construction, so one Compiled
+// may back any number of concurrent runs — this is the artifact a serving
+// layer caches to amortize Build and predecode across repeat requests.
+type Compiled struct {
+	Benchmark Benchmark
+	Prog      *asm.Program
+	Code      *vm.Code
+}
+
+// CompileBenchmark builds the benchmark's program (including workload data
+// placement) and predecodes it into shareable vm.Code.
+func CompileBenchmark(b Benchmark) (*Compiled, error) {
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", b.Name(), err)
+	}
+	return &Compiled{Benchmark: b, Prog: prog, Code: vm.Compile(prog)}, nil
+}
+
+// Run builds, executes, profiles and validates one benchmark. It is
+// CompileBenchmark followed by RunCompiled; callers that run the same
+// benchmark repeatedly should compile once and reuse the artifact.
 func Run(b Benchmark, opt Options) (*Result, error) {
+	comp, err := CompileBenchmark(b)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(comp, opt)
+}
+
+// RunCompiled executes, profiles and validates one prebuilt benchmark.
+// The Compiled artifact is only read, never written: every run gets a
+// private CPU, memory image, timing model and collector.
+func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
+	b := comp.Benchmark
 	cfg := pentium.DefaultConfig()
 	if opt.Pentium != nil {
 		cfg = *opt.Pentium
@@ -151,15 +192,14 @@ func Run(b Benchmark, opt Options) (*Result, error) {
 	if opt.MaxInstrs == 0 {
 		opt.MaxInstrs = 1 << 31
 	}
-	prog, err := b.Build()
-	if err != nil {
-		return nil, fmt.Errorf("core: build %s: %w", b.Name(), err)
-	}
 	model := pentium.New(cfg)
-	model.Bind(prog)
-	col := profile.NewCollector(prog, model)
-	cpu := vm.New(prog)
+	model.Bind(comp.Prog)
+	col := profile.NewCollector(comp.Prog, model)
+	cpu := vm.NewWithCode(comp.Code)
 	cpu.Obs = col
+	if opt.Ctx != nil {
+		cpu.Poll = opt.Ctx.Err
+	}
 	switch opt.Dispatch {
 	case DispatchAuto, DispatchBlock:
 	case DispatchPredecode:

@@ -126,6 +126,16 @@ func RunAll(benches []Benchmark, opt Options) (map[string]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				// First-caller cancellation: work not yet started is
+				// skipped (recorded as a failure wrapping ctx.Err()), and
+				// runs in flight abort through the VM poll hook that Run
+				// installs from opt.Ctx.
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					err := fmt.Errorf("core: run %s: skipped: %w", benches[i].Name(), opt.Ctx.Err())
+					results[i], errs[i] = nil, err
+					retire(i, nil, err)
+					continue
+				}
 				r, err := Run(benches[i], opt)
 				results[i], errs[i] = r, err
 				retire(i, r, err)

@@ -1,0 +1,130 @@
+// The compiled-program cache. Building a suite benchmark synthesizes its
+// workload data and macro-assembles the program, and predecoding lowers it
+// into handler arrays and basic blocks — work that is identical for every
+// request naming the same (program, dispatch, config) triple. The cache
+// keys immutable core.Compiled artifacts by that triple with bounded LRU
+// eviction, so a warm daemon serves repeat requests straight into
+// vm.NewWithCode / pentium.Bind without re-entering the assembler.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"mmxdsp/internal/core"
+)
+
+// cacheKey identifies one compiled artifact. The compiled code itself
+// depends only on the program, but dispatch and the timing-model
+// configuration are part of the key so that any future lowering that
+// specializes on them stays correct by construction.
+type cacheKey struct {
+	program  string
+	dispatch string
+	config   string // canonical config hash, see RunRequest.configKey
+}
+
+// cacheEntry is one slot. The sync.Once serializes compilation so that
+// concurrent first requests for the same key compile exactly once; the
+// entry is immutable afterwards, so readers outside the cache lock are
+// safe even if the entry gets evicted underneath them.
+type cacheEntry struct {
+	key  cacheKey
+	once sync.Once
+	comp *core.Compiled
+	err  error
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Entries   int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits as a fraction of lookups (0 when idle).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// codeCache is a bounded LRU of compiled programs.
+type codeCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	elems     map[cacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newCodeCache(capacity int) *codeCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &codeCache{
+		capacity: capacity,
+		order:    list.New(),
+		elems:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the compiled artifact for key, invoking compile exactly once
+// per cache residency. The second return reports whether the entry was
+// already present (a hit — possibly still compiling under another
+// request's Once, which then blocks only the requests that need it).
+func (c *codeCache) get(key cacheKey, compile func() (*core.Compiled, error)) (*core.Compiled, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.elems[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		entry := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		entry.once.Do(func() { entry.comp, entry.err = compile() })
+		return entry.comp, true, entry.err
+	}
+	c.misses++
+	entry := &cacheEntry{key: key}
+	el := c.order.PushFront(entry)
+	c.elems[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.elems, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	entry.once.Do(func() { entry.comp, entry.err = compile() })
+	if entry.err != nil {
+		// Do not cache failures: builds are deterministic today, but a
+		// resident error would turn any transient failure into a permanent
+		// one for the key's lifetime.
+		c.mu.Lock()
+		if el, ok := c.elems[key]; ok && el.Value.(*cacheEntry) == entry {
+			c.order.Remove(el)
+			delete(c.elems, key)
+		}
+		c.mu.Unlock()
+	}
+	return entry.comp, false, entry.err
+}
+
+// stats snapshots the counters.
+func (c *codeCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"mmxdsp/internal/core"
+)
+
+// FuzzParseRequest throws arbitrary bodies at the /run decoder. The decoder
+// must never panic, and any request it accepts must be internally
+// consistent: the derived dispatch mode is one of the known constants,
+// budgets are non-negative, and the cache-key/option derivations are total
+// and stable.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"program":"fir.mmx"}`))
+	f.Add([]byte(`{"program":"fft.c","dispatch":"block","max_instrs":100000,"timeout_ms":250,"skip_check":true}`))
+	f.Add([]byte(`{"program":"iir.fp","config":{"mispredict_penalty":7,"disable_pairing":true,"emms_latency":53,"mmx_mul_latency":5,"perfect_cache":true}}`))
+	f.Add([]byte(`{"program":"g722.c","config":{"emms_latency":0}}`))
+	f.Add([]byte(`{"program":"x","dispatch":"warp"}`))
+	f.Add([]byte(`{"program":"x"} trailing`))
+	f.Add([]byte(`{"program":"x","max_instrs":-1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRunRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("non-nil request returned alongside an error")
+			}
+			return
+		}
+		if req.Program == "" {
+			t.Fatal("empty program escaped validation")
+		}
+		if req.MaxInstrs < 0 || req.TimeoutMS < 0 {
+			t.Fatalf("negative budget escaped validation: instrs=%d timeout=%d",
+				req.MaxInstrs, req.TimeoutMS)
+		}
+		switch req.dispatchMode() {
+		case core.DispatchAuto, core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric:
+		default:
+			t.Fatalf("dispatch mode %q escaped validation", req.dispatchMode())
+		}
+		cfg := req.pentiumConfig()
+		// EmmsLatency -1 is the "use the ISA table" sentinel.
+		if cfg.MispredictPenalty < 0 || cfg.EmmsLatency < -1 || cfg.MMXMulLatency < 0 {
+			t.Fatalf("negative timing parameter escaped validation: %+v", cfg)
+		}
+		if k1, k2 := req.configKey(), req.configKey(); k1 != k2 {
+			t.Fatalf("configKey not stable: %q != %q", k1, k2)
+		}
+		opt := req.options(context.Background())
+		if opt.Ctx == nil || opt.Pentium == nil {
+			t.Fatal("options lost the context or config")
+		}
+		if opt.Dispatch != req.dispatchMode() {
+			t.Fatalf("options dispatch %q != %q", opt.Dispatch, req.dispatchMode())
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// HTTP handlers. The /run path is the serving hot loop: admission, cache
+// lookup, one core.RunCompiled under the request context, JSON out. The
+// profile.Report is marshaled as-is, so a served result is byte-identical
+// to marshaling a direct core.Run — the e2e suite pins this.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/profile"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for "client
+// went away before the response": the body is never seen, but the code
+// keeps access logs and tests honest about why the run ended.
+const StatusClientClosedRequest = 499
+
+// RunResponse is the JSON body answering POST /run.
+type RunResponse struct {
+	Program  string `json:"program"`
+	Dispatch string `json:"dispatch"` // requested mode ("auto" when defaulted)
+	CacheHit bool   `json:"cache_hit"`
+	// WallNS is host time spent inside the interpreter (excludes queueing).
+	WallNS       int64           `json:"wall_ns"`
+	InstrsPerSec float64         `json:"instrs_per_sec"`
+	Blocks       core.BlockStats `json:"blocks"`
+	// Report is the full simulation report; byte-identical to a direct
+	// core.Run of the same request.
+	Report *profile.Report `json:"report"`
+}
+
+// TableResponse is the JSON body answering GET /table.
+type TableResponse struct {
+	Dispatch  string `json:"dispatch"`
+	Programs  int    `json:"programs"`
+	Table2    string `json:"table2"`
+	Table2CSV string `json:"table2_csv"`
+	Table3    string `json:"table3"`
+	Table3CSV string `json:"table3_csv"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// runStatus maps a run failure to an HTTP status using the request
+// context: deadline -> 504, cancellation (disconnect or drain) -> 499,
+// anything else -> 500.
+func runStatus(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case ctx.Err() != nil:
+		// The context fired but the interpreter surfaced a different
+		// error first (e.g. a budget fault racing the deadline).
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	body, err := readRequestBody(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := ParseRunRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MaxInstrs, err = s.capInstrs(req.MaxInstrs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	comp, hit, err := s.compiledFor(req)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.timeout(s.cfg.DefaultTimeout))
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		s.metrics.canceled.Add(1)
+		writeError(w, runStatus(ctx, err), err)
+		return
+	}
+	defer release()
+
+	res, err := core.RunCompiled(comp, req.options(ctx))
+	if err != nil {
+		status := runStatus(ctx, err)
+		if status == http.StatusGatewayTimeout || status == StatusClientClosedRequest {
+			s.metrics.canceled.Add(1)
+		} else {
+			s.metrics.runsFailed.Add(1)
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.metrics.recordRun(req.Program, res.Report.DynamicInstructions, res.Wall)
+
+	dispatch := req.Dispatch
+	if dispatch == "" {
+		dispatch = "auto"
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Program:      req.Program,
+		Dispatch:     dispatch,
+		CacheHit:     hit,
+		WallNS:       res.Wall.Nanoseconds(),
+		InstrsPerSec: res.InstrsPerSec(),
+		Blocks:       res.Blocks,
+		Report:       res.Report,
+	})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	q := r.URL.Query()
+	req := &RunRequest{Dispatch: q.Get("dispatch"), SkipCheck: true}
+	if v := q.Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("bad timeout_ms"))
+			return
+		}
+		req.TimeoutMS = ms
+	}
+	switch req.Dispatch {
+	case "", "auto", core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric:
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("unknown dispatch mode "+strconv.Quote(req.Dispatch)))
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.timeout(s.cfg.DefaultTimeout))
+	defer cancel()
+	// A table request occupies one admission slot for its whole suite
+	// sweep; the sweep itself fans out on an internal pool so the suite
+	// finishes in roughly max-program time rather than summed time.
+	release, err := s.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		s.metrics.canceled.Add(1)
+		writeError(w, runStatus(ctx, err), err)
+		return
+	}
+	defer release()
+
+	rs, err := s.runSuite(ctx, req)
+	if err != nil {
+		status := runStatus(ctx, err)
+		if status == http.StatusGatewayTimeout || status == StatusClientClosedRequest {
+			s.metrics.canceled.Add(1)
+		} else {
+			s.metrics.runsFailed.Add(1)
+		}
+		writeError(w, status, err)
+		return
+	}
+	dispatch := req.Dispatch
+	if dispatch == "" {
+		dispatch = "auto"
+	}
+	writeJSON(w, http.StatusOK, TableResponse{
+		Dispatch:  dispatch,
+		Programs:  len(rs),
+		Table2:    core.Table2(rs),
+		Table2CSV: core.Table2CSV(rs),
+		Table3:    core.Table3(rs),
+		Table3CSV: core.Table3CSV(rs),
+	})
+}
+
+// runSuite runs every registered benchmark through the cache on a bounded
+// internal pool, returning the keyed result set the table renderers
+// consume. The first error wins; the context aborts the stragglers.
+func (s *Server) runSuite(ctx context.Context, req *RunRequest) (core.ResultSet, error) {
+	benches := s.cfg.Benchmarks()
+	type item struct {
+		name string
+		res  *core.Result
+		err  error
+	}
+	jobs := make(chan core.Benchmark)
+	out := make(chan item, len(benches))
+	workers := s.cfg.Workers
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bench := range jobs {
+				name := bench.Name()
+				if err := ctx.Err(); err != nil {
+					out <- item{name: name, err: err}
+					continue
+				}
+				one := *req
+				one.Program = name
+				comp, _, err := s.compiledFor(&one)
+				if err != nil {
+					out <- item{name: name, err: err}
+					continue
+				}
+				res, err := core.RunCompiled(comp, one.options(ctx))
+				if err != nil {
+					out <- item{name: name, err: err}
+					continue
+				}
+				s.metrics.recordRun(name, res.Report.DynamicInstructions, res.Wall)
+				out <- item{name: name, res: res}
+			}
+		}()
+	}
+	for _, bench := range benches {
+		jobs <- bench
+	}
+	close(jobs)
+	wg.Wait()
+	close(out)
+
+	rs := make(core.ResultSet, len(benches))
+	var firstErr error
+	for it := range out {
+		if it.err != nil {
+			if firstErr == nil {
+				firstErr = it.err
+			}
+			continue
+		}
+		rs[it.name] = it.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rs, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}

@@ -1,0 +1,153 @@
+// Observability. Counters are expvar vars held on the Server (not the
+// process-global expvar registry, which panics on duplicate names and
+// would make the daemon untestable side by side); /metrics renders them as
+// one JSON document together with derived gauges — queue depth, cache hit
+// rate, per-benchmark run counts, aggregate simulated instr/s, and p50/p99
+// wall-time quantiles over a sliding window.
+package server
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindowSize bounds the sliding window the wall-time quantiles are
+// computed over; at serving rates this covers the recent past without
+// unbounded growth.
+const latencyWindowSize = 1024
+
+// latencyWindow is a fixed-size ring of recent request wall times.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  [latencyWindowSize]float64 // milliseconds
+	n    int                        // filled slots
+	next int                        // ring cursor
+}
+
+func (l *latencyWindow) add(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	l.mu.Lock()
+	l.buf[l.next] = ms
+	l.next = (l.next + 1) % latencyWindowSize
+	if l.n < latencyWindowSize {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles (0..1) in milliseconds, nil
+// when the window is empty.
+func (l *latencyWindow) quantiles(qs ...float64) []float64 {
+	l.mu.Lock()
+	samples := append([]float64(nil), l.buf[:l.n]...)
+	l.mu.Unlock()
+	if len(samples) == 0 {
+		return nil
+	}
+	sort.Float64s(samples)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(samples)-1))
+		out[i] = samples[idx]
+	}
+	return out
+}
+
+// metrics is the server's counter set.
+type metrics struct {
+	runsOK     expvar.Int
+	runsFailed expvar.Int
+	runsByName expvar.Map // per-benchmark completed run counts
+
+	rejected expvar.Int // 429s from admission-queue overflow
+	canceled expvar.Int // runs aborted by deadline/disconnect/drain
+
+	instrs expvar.Int // simulated instructions retired across all runs
+	wallNS expvar.Int // host nanoseconds spent inside cpu.Run
+
+	latency latencyWindow
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.runsByName.Init()
+	return m
+}
+
+// recordRun accounts one completed (successful) run.
+func (m *metrics) recordRun(name string, instrs uint64, wall time.Duration) {
+	m.runsOK.Add(1)
+	m.runsByName.Add(name, 1)
+	m.instrs.Add(int64(instrs))
+	m.wallNS.Add(wall.Nanoseconds())
+	m.latency.add(wall)
+}
+
+// instrsPerSec returns the aggregate simulated throughput over all served
+// runs (simulated instructions per host second inside the interpreter).
+func (m *metrics) instrsPerSec() float64 {
+	ns := m.wallNS.Value()
+	if ns <= 0 {
+		return 0
+	}
+	return float64(m.instrs.Value()) / (float64(ns) / 1e9)
+}
+
+// MetricsSnapshot is the JSON document served by /metrics.
+type MetricsSnapshot struct {
+	QueueDepth   int64   `json:"queue_depth"`
+	ActiveRuns   int64   `json:"active_runs"`
+	Rejected     int64   `json:"rejected_429"`
+	Canceled     int64   `json:"canceled_runs"`
+	RunsOK       int64   `json:"runs_ok"`
+	RunsFailed   int64   `json:"runs_failed"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+
+	WallMSP50 float64 `json:"wall_ms_p50"`
+	WallMSP99 float64 `json:"wall_ms_p99"`
+
+	RunsByProgram map[string]int64 `json:"runs_by_program"`
+
+	Draining bool `json:"draining"`
+}
+
+// snapshot materializes the current counters.
+func (s *Server) snapshot() MetricsSnapshot {
+	m := s.metrics
+	cs := s.cache.stats()
+	snap := MetricsSnapshot{
+		QueueDepth:     s.nQueued.Load(),
+		ActiveRuns:     s.nActive.Load(),
+		Rejected:       m.rejected.Value(),
+		Canceled:       m.canceled.Value(),
+		RunsOK:         m.runsOK.Value(),
+		RunsFailed:     m.runsFailed.Value(),
+		InstrsPerSec:   m.instrsPerSec(),
+		CacheEntries:   cs.Entries,
+		CacheCapacity:  cs.Capacity,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+		CacheHitRate:   cs.HitRate(),
+		RunsByProgram:  map[string]int64{},
+		Draining:       s.draining.Load(),
+	}
+	if q := m.latency.quantiles(0.50, 0.99); q != nil {
+		snap.WallMSP50, snap.WallMSP99 = q[0], q[1]
+	}
+	m.runsByName.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			snap.RunsByProgram[kv.Key] = v.Value()
+		}
+	})
+	return snap
+}

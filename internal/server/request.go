@@ -1,0 +1,168 @@
+// Request decoding and validation for the /run API. Parsing is strict —
+// unknown fields, trailing data and out-of-range values are rejected with
+// errors the handler maps to 400 — and separated from serving so the
+// decoder can be fuzzed in isolation (FuzzParseRequest).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/pentium"
+)
+
+// maxRequestBody bounds the /run request body; the largest legitimate
+// request is a few hundred bytes of JSON.
+const maxRequestBody = 1 << 20
+
+// ConfigOverride is the request-level view of pentium.Config plus the
+// cache-model ablation. Zero values select the documented defaults, and
+// EmmsLatency follows the config convention (nil = ISA table value, 0 =
+// free emms ablation).
+type ConfigOverride struct {
+	MispredictPenalty int  `json:"mispredict_penalty,omitempty"`
+	DisablePairing    bool `json:"disable_pairing,omitempty"`
+	DisableBTB        bool `json:"disable_btb,omitempty"`
+	EmmsLatency       *int `json:"emms_latency,omitempty"`
+	MMXMulLatency     int  `json:"mmx_mul_latency,omitempty"`
+	PerfectCache      bool `json:"perfect_cache,omitempty"`
+}
+
+// RunRequest is the JSON body of POST /run.
+type RunRequest struct {
+	// Program is the paper-style program name, e.g. "fft.mmx".
+	Program string `json:"program"`
+	// Dispatch selects the interpreter inner loop: "", "auto", "block",
+	// "predecode" or "generic".
+	Dispatch string `json:"dispatch,omitempty"`
+	// MaxInstrs bounds execution (0 = the runner's generous default).
+	MaxInstrs int64 `json:"max_instrs,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds (0 = the
+	// server's default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SkipCheck skips output validation against the pure-Go reference.
+	SkipCheck bool `json:"skip_check,omitempty"`
+	// Config carries timing-model ablation overrides; nil selects the
+	// standard Pentium-with-MMX configuration.
+	Config *ConfigOverride `json:"config,omitempty"`
+}
+
+// ParseRunRequest decodes and validates a /run body. Program existence is
+// the caller's concern (it needs the registry); everything syntactic and
+// range-checked lives here.
+func ParseRunRequest(data []byte) (*RunRequest, error) {
+	if len(data) > maxRequestBody {
+		return nil, fmt.Errorf("request body exceeds %d bytes", maxRequestBody)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after request object")
+	}
+	if req.Program == "" {
+		return nil, fmt.Errorf("missing required field %q", "program")
+	}
+	switch req.Dispatch {
+	case "", "auto", core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric:
+	default:
+		return nil, fmt.Errorf("unknown dispatch mode %q (want auto, block, predecode or generic)", req.Dispatch)
+	}
+	if req.MaxInstrs < 0 {
+		return nil, fmt.Errorf("negative max_instrs %d", req.MaxInstrs)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
+	}
+	if c := req.Config; c != nil {
+		if c.MispredictPenalty < 0 || c.MispredictPenalty > 1000 {
+			return nil, fmt.Errorf("mispredict_penalty %d out of range [0, 1000]", c.MispredictPenalty)
+		}
+		if c.EmmsLatency != nil && (*c.EmmsLatency < 0 || *c.EmmsLatency > 10000) {
+			return nil, fmt.Errorf("emms_latency %d out of range [0, 10000]", *c.EmmsLatency)
+		}
+		if c.MMXMulLatency < 0 || c.MMXMulLatency > 10000 {
+			return nil, fmt.Errorf("mmx_mul_latency %d out of range [0, 10000]", c.MMXMulLatency)
+		}
+	}
+	return &req, nil
+}
+
+// pentiumConfig resolves the override into a concrete timing-model config.
+func (r *RunRequest) pentiumConfig() pentium.Config {
+	cfg := pentium.DefaultConfig()
+	if c := r.Config; c != nil {
+		if c.MispredictPenalty != 0 {
+			cfg.MispredictPenalty = c.MispredictPenalty
+		}
+		cfg.DisablePairing = c.DisablePairing
+		cfg.DisableBTB = c.DisableBTB
+		if c.EmmsLatency != nil {
+			cfg.EmmsLatency = *c.EmmsLatency
+		}
+		cfg.MMXMulLatency = c.MMXMulLatency
+	}
+	return cfg
+}
+
+// dispatchMode maps the request's dispatch name onto core's constant
+// ("auto" and "" both select DispatchAuto).
+func (r *RunRequest) dispatchMode() string {
+	if r.Dispatch == "auto" {
+		return core.DispatchAuto
+	}
+	return r.Dispatch
+}
+
+// options builds the runner options for this request. ctx carries the
+// request lifecycle (deadline, client disconnect, server drain).
+func (r *RunRequest) options(ctx context.Context) core.Options {
+	cfg := r.pentiumConfig()
+	return core.Options{
+		Pentium:      &cfg,
+		PerfectCache: r.Config != nil && r.Config.PerfectCache,
+		MaxInstrs:    r.MaxInstrs,
+		SkipCheck:    r.SkipCheck,
+		Dispatch:     r.dispatchMode(),
+		Ctx:          ctx,
+	}
+}
+
+// configKey renders the canonical cache-key component for the request's
+// configuration: a fixed-order field dump, collision-free by construction.
+func (r *RunRequest) configKey() string {
+	cfg := r.pentiumConfig()
+	perfect := r.Config != nil && r.Config.PerfectCache
+	return fmt.Sprintf("mp=%d|np=%t|nb=%t|el=%d|mm=%d|pc=%t",
+		cfg.MispredictPenalty, cfg.DisablePairing, cfg.DisableBTB,
+		cfg.EmmsLatency, cfg.MMXMulLatency, perfect)
+}
+
+// timeout resolves the request deadline against the server default; zero
+// means no deadline.
+func (r *RunRequest) timeout(def time.Duration) time.Duration {
+	if r.TimeoutMS > 0 {
+		return time.Duration(r.TimeoutMS) * time.Millisecond
+	}
+	return def
+}
+
+// readRequestBody drains a request body under the size cap.
+func readRequestBody(body io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(body, maxRequestBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	if len(data) > maxRequestBody {
+		return nil, fmt.Errorf("request body exceeds %d bytes", maxRequestBody)
+	}
+	return data, nil
+}

@@ -1,0 +1,186 @@
+// Package server is the mmxd simulation service: an HTTP/JSON daemon that
+// serves simulated Pentium-with-MMX benchmark runs on top of the
+// concurrent suite runner. It amortizes program construction across
+// requests with a bounded LRU of compiled artifacts, bounds concurrency
+// with a worker pool plus an admission queue that sheds load with 429s,
+// threads per-request contexts into the interpreter's poll hook so
+// deadlines, client disconnects and drain all halt simulation mid-run, and
+// exposes its internals through /metrics.
+//
+// Endpoints:
+//
+//	POST /run      run one benchmark (RunRequest -> RunResponse)
+//	GET  /table    run the suite, return the paper's Table 2/3 artifacts
+//	GET  /healthz  liveness (503 while draining)
+//	GET  /metrics  JSON counter snapshot (MetricsSnapshot)
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/suite"
+)
+
+// Config tunes the daemon; zero values select the documented defaults.
+type Config struct {
+	// CacheEntries bounds the compiled-program LRU (default 64 — the full
+	// suite in all three dispatch modes, with room for ablation configs).
+	CacheEntries int
+	// Workers bounds concurrently executing simulations (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; beyond it the
+	// server answers 429 (default 64).
+	QueueDepth int
+	// DefaultTimeout applies to requests that set no timeout_ms; 0 means
+	// no server-imposed deadline.
+	DefaultTimeout time.Duration
+	// MaxInstrsCap, when positive, caps (and defaults) every request's
+	// instruction budget, protecting the daemon from unbounded synthetic
+	// programs.
+	MaxInstrsCap int64
+	// Lookup resolves program names; nil selects the suite registry.
+	// Tests substitute synthetic registries (e.g. non-terminating
+	// programs for cancellation coverage).
+	Lookup func(string) (core.Benchmark, bool)
+	// Benchmarks lists the programs /table runs; nil selects the full
+	// suite.
+	Benchmarks func() []core.Benchmark
+}
+
+// Server is one daemon instance. Create with New; it is ready to serve as
+// soon as Handler is mounted.
+type Server struct {
+	cfg     Config
+	cache   *codeCache
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// sem is the worker pool: one token per concurrently executing run.
+	sem chan struct{}
+	// nQueued counts requests waiting for a token (the admission queue);
+	// nActive counts token holders.
+	nQueued  atomic.Int64
+	nActive  atomic.Int64
+	draining atomic.Bool
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Lookup == nil {
+		cfg.Lookup = suite.ByName
+	}
+	if cfg.Benchmarks == nil {
+		cfg.Benchmarks = suite.All
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   newCodeCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.Workers),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/table", s.handleTable)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain flips the server into drain mode: /healthz reports 503 so
+// load balancers stop routing, and new work is refused with 503 while
+// requests already admitted run to completion (http.Server.Shutdown then
+// waits for those). cmd/mmxd calls this on SIGTERM/SIGINT.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errQueueFull is returned by acquire when the admission queue is at
+// capacity; the handler maps it to 429.
+var errQueueFull = errors.New("admission queue full")
+
+// acquire admits one request into the worker pool, queueing up to
+// cfg.QueueDepth waiters. The release function must be called exactly once
+// after the run retires.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	grabbed := func() func() {
+		s.nActive.Add(1)
+		return func() {
+			s.nActive.Add(-1)
+			<-s.sem
+		}
+	}
+	// Fast path: a worker slot is free, no queueing.
+	select {
+	case s.sem <- struct{}{}:
+		return grabbed(), nil
+	default:
+	}
+	if s.nQueued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.nQueued.Add(-1)
+		s.metrics.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	defer s.nQueued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return grabbed(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// requestContext derives the run context: the HTTP request context (which
+// fires on client disconnect) plus the resolved deadline.
+func (s *Server) requestContext(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// capInstrs applies the server-side instruction-budget ceiling.
+func (s *Server) capInstrs(req int64) (int64, error) {
+	if s.cfg.MaxInstrsCap <= 0 {
+		return req, nil
+	}
+	if req == 0 {
+		return s.cfg.MaxInstrsCap, nil
+	}
+	if req > s.cfg.MaxInstrsCap {
+		return 0, fmt.Errorf("max_instrs %d exceeds the server cap %d", req, s.cfg.MaxInstrsCap)
+	}
+	return req, nil
+}
+
+// compiledFor resolves a benchmark through the compiled-program cache.
+func (s *Server) compiledFor(req *RunRequest) (*core.Compiled, bool, error) {
+	bench, ok := s.cfg.Lookup(req.Program)
+	if !ok {
+		return nil, false, fmt.Errorf("unknown program %q", req.Program)
+	}
+	key := cacheKey{program: req.Program, dispatch: req.dispatchMode(), config: req.configKey()}
+	return s.cache.get(key, func() (*core.Compiled, error) {
+		return core.CompileBenchmark(bench)
+	})
+}

@@ -150,7 +150,17 @@ func (c *CPU) runBlocks(maxInstrs int64, bobs BlockObserver) error {
 	ops := code.ops
 	var ev Event
 	var penbuf []int32
+	// Poll once per dispatched block: bodies are bounded by the program's
+	// longest straight-line run, so the between-poll gap stays within one
+	// block of the configured interval.
+	pollAt := c.pollStart()
 	for !c.halted {
+		if c.executed >= pollAt {
+			if err := c.Poll(); err != nil {
+				return c.abort(err)
+			}
+			pollAt = c.executed + c.pollInterval()
+		}
 		pc := c.pc
 		if pc < 0 || pc >= len(ops) {
 			return c.fault("control transferred outside program (pc=%d)", pc)

@@ -12,12 +12,21 @@ package vm
 
 import (
 	"fmt"
+	"math"
 
 	"mmxdsp/internal/asm"
 	"mmxdsp/internal/isa"
 	"mmxdsp/internal/mem"
 	"mmxdsp/internal/mmx"
 )
+
+// DefaultPollInterval is the retirement-count granularity at which Run
+// invokes CPU.Poll when a poll hook is installed. At simulated throughputs
+// of a few million instructions per second even the slowest interpreter
+// revisits the hook within single-digit milliseconds, so cancellation
+// latency is bounded well below human-visible delays while the hot loops
+// pay only one integer compare per iteration.
+const DefaultPollInterval = 1 << 15
 
 // Event describes one retired instruction.
 type Event struct {
@@ -74,6 +83,16 @@ type CPU struct {
 	// Obs receives retirement events; nil disables observation.
 	Obs Observer
 
+	// Poll, when non-nil, is invoked by Run at least once every PollEvery
+	// retired instructions (and once on entry). A non-nil return aborts
+	// the run with that error wrapped in program context; errors.Is still
+	// sees the cause, so a hook returning ctx.Err() gives callers
+	// mid-run cancellation with bounded latency.
+	Poll func() error
+	// PollEvery overrides the poll granularity; 0 selects
+	// DefaultPollInterval.
+	PollEvery int64
+
 	executed int64
 }
 
@@ -127,6 +146,31 @@ func (c *CPU) fault(format string, args ...any) error {
 		fmt.Sprintf(format, args...))
 }
 
+// pollInterval returns the configured poll granularity.
+func (c *CPU) pollInterval() int64 {
+	if c.PollEvery > 0 {
+		return c.PollEvery
+	}
+	return DefaultPollInterval
+}
+
+// pollStart returns the first retirement count at which the inner loop
+// should consult Poll: immediately when a hook is installed (so an
+// already-cancelled run never executes an instruction), never otherwise.
+func (c *CPU) pollStart() int64 {
+	if c.Poll == nil {
+		return math.MaxInt64
+	}
+	return c.executed
+}
+
+// abort wraps a poll error with execution context, preserving the cause
+// for errors.Is/errors.As (e.g. context.Canceled).
+func (c *CPU) abort(err error) error {
+	return fmt.Errorf("vm(%s) pc=%d: run aborted after %d instructions: %w",
+		c.Prog.Name, c.pc, c.executed, err)
+}
+
 // Run executes until HALT or until maxInstrs instructions have retired,
 // which guards against runaway programs. The fastest applicable inner loop
 // is chosen automatically: block dispatch (block.go) when the observer
@@ -154,7 +198,14 @@ func (c *CPU) Run(maxInstrs int64) error {
 	// address through a function value, which would otherwise force a heap
 	// allocation per retired instruction.
 	var ev Event
+	pollAt := c.pollStart()
 	for !c.halted {
+		if c.executed >= pollAt {
+			if err := c.Poll(); err != nil {
+				return c.abort(err)
+			}
+			pollAt = c.executed + c.pollInterval()
+		}
 		if c.executed >= maxInstrs {
 			return c.fault("instruction budget of %d exceeded", maxInstrs)
 		}
@@ -194,7 +245,14 @@ func (c *CPU) Run(maxInstrs int64) error {
 // runGeneric is the original decode-per-step loop, kept as the reference
 // semantics for the predecoded path.
 func (c *CPU) runGeneric(maxInstrs int64) error {
+	pollAt := c.pollStart()
 	for !c.halted {
+		if c.executed >= pollAt {
+			if err := c.Poll(); err != nil {
+				return c.abort(err)
+			}
+			pollAt = c.executed + c.pollInterval()
+		}
 		if c.executed >= maxInstrs {
 			return c.fault("instruction budget of %d exceeded", maxInstrs)
 		}

@@ -21,10 +21,26 @@ go build ./...
 echo "==> go test ./... $*"
 go test "$@" ./...
 
-# The concurrent suite runner and the memoized registry are the only
-# goroutine-bearing code; exercise them under the race detector.
-echo "==> go test -race ./internal/core/... ./internal/suite/..."
-go test -race ./internal/core/... ./internal/suite/...
+# The goroutine-bearing code — the concurrent suite runner, the memoized
+# registry, and the mmxd service (cache single-flight, admission queue,
+# request cancellation) — runs under the race detector.
+echo "==> go test -race ./internal/core/... ./internal/suite/... ./internal/server/..."
+go test -race ./internal/core/... ./internal/suite/... ./internal/server/...
+
+# The service end-to-end suite: all 19 programs x 3 dispatch modes over
+# HTTP byte-equivalent to direct runs, plus the daemon SIGTERM drain.
+echo "==> go test -run 'TestServedReportsMatchDirectRuns|TestDaemonSIGTERMDrain' ."
+go test -run 'TestServedReportsMatchDirectRuns|TestDaemonSIGTERMDrain' .
+
+# Fuzz smoke: a few seconds per target keeps the corpora honest without
+# turning the gate into a fuzzing campaign (`go test -fuzz` accepts one
+# target per invocation).
+echo "==> go test -run '^$' -fuzz FuzzAsmSource -fuzztime 5s ./internal/asm"
+go test -run '^$' -fuzz FuzzAsmSource -fuzztime 5s ./internal/asm >/dev/null
+echo "==> go test -run '^$' -fuzz FuzzParseRequest -fuzztime 5s ./internal/server"
+go test -run '^$' -fuzz FuzzParseRequest -fuzztime 5s ./internal/server >/dev/null
+echo "==> go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium"
+go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium >/dev/null
 
 # The three-way dispatch equivalence (generic / predecoded / block) also
 # runs under the race detector: block dispatch shares predecoded code and

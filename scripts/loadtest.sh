@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# loadtest.sh — drive a local mmxd with concurrent curl loops and record
+# service throughput into BENCH_serve.json. Wall-clock numbers are
+# host-dependent; this measures, it never gates.
+#
+#   scripts/loadtest.sh                    # 4 clients x 8 requests, fir.mmx
+#   CLIENTS=8 REQS=16 scripts/loadtest.sh  # heavier sweep
+#   PROGRAM=jpeg.c scripts/loadtest.sh     # different benchmark
+#   OUT=serve.json scripts/loadtest.sh     # custom artifact path
+#
+# Dependency-free by design: bash, curl and the Go toolchain only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+clients="${CLIENTS:-4}"
+reqs="${REQS:-8}"
+program="${PROGRAM:-fir.mmx}"
+dispatch="${DISPATCH:-block}"
+out="${OUT:-BENCH_serve.json}"
+addr="127.0.0.1:${PORT:-8931}"
+base="http://$addr"
+
+echo "==> go build ./cmd/mmxd"
+workdir="$(mktemp -d)"
+bin="$workdir/mmxd"
+go build -o "$bin" ./cmd/mmxd
+
+"$bin" -addr "$addr" &
+daemon=$!
+cleanup() {
+    kill "$daemon" 2>/dev/null || true
+    wait "$daemon" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> waiting for $base/healthz"
+for _ in $(seq 1 100); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf "$base/healthz" >/dev/null
+
+body="{\"program\":\"$program\",\"dispatch\":\"$dispatch\",\"skip_check\":true}"
+
+# Cold-vs-warm cache latency: the first request compiles, the second hits
+# the compiled-program cache.
+cold_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$body" "$base/run")"
+warm_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$body" "$base/run")"
+echo "==> cold ${cold_s}s, warm ${warm_s}s ($program, $dispatch dispatch)"
+
+# Concurrent load: $clients curl loops of $reqs requests each.
+echo "==> $clients clients x $reqs requests"
+start_ns="$(date +%s%N)"
+pids=()
+for _ in $(seq 1 "$clients"); do
+    (
+        for _ in $(seq 1 "$reqs"); do
+            curl -sf -o /dev/null -X POST -d "$body" "$base/run"
+        done
+    ) &
+    pids+=("$!")
+done
+wait "${pids[@]}"
+elapsed_ns=$(( $(date +%s%N) - start_ns ))
+
+total=$(( clients * reqs ))
+metrics="$(curl -sf "$base/metrics")"
+
+# Render the artifact with printf — no jq dependency.
+elapsed_s="$(printf '%d.%09d' $((elapsed_ns / 1000000000)) $((elapsed_ns % 1000000000)))"
+rps="$(awk -v n="$total" -v s="$elapsed_s" 'BEGIN { printf "%.2f", n / s }')"
+commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
+
+{
+    printf '{\n'
+    printf '  "commit": "%s",\n' "$commit"
+    printf '  "program": "%s",\n' "$program"
+    printf '  "dispatch": "%s",\n' "$dispatch"
+    printf '  "clients": %d,\n' "$clients"
+    printf '  "requests": %d,\n' "$total"
+    printf '  "elapsed_seconds": %s,\n' "$elapsed_s"
+    printf '  "requests_per_second": %s,\n' "$rps"
+    printf '  "cold_seconds": %s,\n' "$cold_s"
+    printf '  "warm_seconds": %s,\n' "$warm_s"
+    printf '  "metrics": %s\n' "$metrics"
+    printf '}\n'
+} > "$out"
+
+echo "==> $total requests in ${elapsed_s}s (${rps} req/s); wrote $out"
