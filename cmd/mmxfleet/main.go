@@ -1,0 +1,104 @@
+// Command mmxfleet is the fleet coordinator: it fronts N mmxd backends,
+// routing each run to the backend whose compiled-program cache already
+// holds the artifact (rendezvous hashing), health-checking the fleet,
+// retrying and optionally hedging slow requests, and scatter-gathering
+// full table runs across every backend.
+//
+// Usage:
+//
+//	mmxfleet -backends http://127.0.0.1:8931,http://127.0.0.1:8932
+//	mmxfleet -addr :8930 -retries 3 -hedge-after 250ms
+//	mmxfleet -probe-interval 1s -fail-threshold 2
+//
+// Endpoints: POST /run (mmxd schema, routed), POST /suite (scatter-gather
+// Table 2/3), GET /programs, GET /healthz, GET /metrics. See
+// internal/cluster for behavior, and the README's "Running a fleet"
+// section for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mmxdsp/internal/cluster"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8930", "listen address")
+		backends      = flag.String("backends", "", "comma-separated mmxd base URLs (required)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe spacing")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "health-probe round-trip bound")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive probe failures before a backend is dead")
+		retries       = flag.Int("retries", 2, "per-request retry budget (conn errors and 429s)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge a second request after this latency (0 = off)")
+		maxInflight   = flag.Int64("max-inflight", 0, "per-backend in-flight cap before affinity fallback (0 = off)")
+		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || *backends == "" {
+		fmt.Fprintln(os.Stderr, "usage: mmxfleet -backends url,url,... [flags]")
+		os.Exit(2)
+	}
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Backends:      urls,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailThreshold: *failThreshold,
+		Retries:       *retries,
+		HedgeAfter:    *hedgeAfter,
+		MaxInflight:   *maxInflight,
+	})
+	if err != nil {
+		log.Fatalf("mmxfleet: %v", err)
+	}
+	coord.Start()
+	defer coord.Stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mmxfleet: serving on %s, %d backends (probe=%s retries=%d hedge=%s)",
+			*addr, len(urls), *probeInterval, *retries, *hedgeAfter)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("mmxfleet: serve: %v", err)
+	case sig := <-sigCh:
+		// Graceful drain, mirroring mmxd: stop advertising health, shed new
+		// work, let routed requests finish within the grace period.
+		log.Printf("mmxfleet: %v: draining (grace %s)", sig, *grace)
+		coord.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mmxfleet: shutdown: %v", err)
+			_ = httpSrv.Close()
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("mmxfleet: serve: %v", err)
+		}
+		log.Printf("mmxfleet: drained cleanly")
+	}
+}

@@ -1,0 +1,294 @@
+// End-to-end tests for the fleet: a coordinator fronting real mmxd
+// servers (the actual internal/server implementation, full simulations)
+// must serve every suite program byte-identical to direct runs, survive a
+// backend dying mid-suite with zero failed responses, and keep repeat
+// requests affine to one warm backend cache.
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mmxdsp/internal/cluster"
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/server"
+	"mmxdsp/internal/suite"
+)
+
+// fleet spins n real mmxd servers and a coordinator over them.
+type fleet struct {
+	backends []*httptest.Server
+	coord    *cluster.Coordinator
+	ts       *httptest.Server
+}
+
+func newFleet(t *testing.T, n int, cfg cluster.Config) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		bts := httptest.NewServer(server.New(server.Config{}).Handler())
+		t.Cleanup(bts.Close)
+		f.backends = append(f.backends, bts)
+		cfg.Backends = append(cfg.Backends, bts.URL)
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	f.coord = coord
+	coord.ProbeAll()
+	f.ts = httptest.NewServer(coord.Handler())
+	t.Cleanup(f.ts.Close)
+	t.Cleanup(coord.Stop)
+	return f
+}
+
+func (f *fleet) run(t *testing.T, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(f.ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// reportOf extracts the report JSON from a /run response body, compacted
+// so it compares byte-for-byte against a direct json.Marshal of the same
+// report (the daemon pretty-prints responses).
+func reportOf(t *testing.T, data []byte) string {
+	t.Helper()
+	var env struct {
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("decoding run response: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, env.Report); err != nil {
+		t.Fatalf("compacting report: %v", err)
+	}
+	return buf.String()
+}
+
+// TestFleetServesSuiteByteIdentical is the fleet acceptance gate: all 19
+// programs served through a 2-backend fleet match direct single-process
+// runs byte for byte, and the scatter-gathered /suite reassembles the same
+// Table 2/3 artifacts a lone daemon's /table would produce.
+func TestFleetServesSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite through the fleet; skipped in -short mode")
+	}
+	f := newFleet(t, 2, cluster.Config{})
+
+	benches := suite.All()
+	direct, err := core.RunAll(benches, core.Options{SkipCheck: true, Dispatch: core.DispatchBlock})
+	if err != nil {
+		t.Fatalf("direct RunAll: %v", err)
+	}
+	want := map[string]string{}
+	for name, res := range direct {
+		data, err := json.Marshal(res.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = string(data)
+	}
+
+	served := map[string]bool{} // backend URL -> served something
+	for _, bench := range benches {
+		name := bench.Name()
+		body := fmt.Sprintf(`{"program":%q,"dispatch":"block","skip_check":true}`, name)
+		resp, data := f.run(t, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, data)
+		}
+		served[resp.Header.Get(cluster.BackendHeader)] = true
+		if got := reportOf(t, data); got != want[name] {
+			t.Errorf("%s: served report differs from direct run", name)
+		}
+	}
+	if len(served) < 2 {
+		t.Errorf("all programs landed on one backend (%v); HRW should spread the suite", served)
+	}
+
+	// Scatter-gathered tables must match tables rendered from direct runs.
+	resp, err := http.Post(f.ts.URL+"/suite", "application/json", strings.NewReader(`{"dispatch":"block"}`))
+	if err != nil {
+		t.Fatalf("POST /suite: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/suite status %d: %s", resp.StatusCode, data)
+	}
+	var sr cluster.SuiteResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Programs != len(benches) {
+		t.Errorf("/suite ran %d programs, want %d", sr.Programs, len(benches))
+	}
+	if sr.Table2 != core.Table2(direct) {
+		t.Error("/suite Table 2 differs from direct-run rendering")
+	}
+	if sr.Table2CSV != core.Table2CSV(direct) {
+		t.Error("/suite Table 2 CSV differs from direct-run rendering")
+	}
+	if sr.Table3 != core.Table3(direct) {
+		t.Error("/suite Table 3 differs from direct-run rendering")
+	}
+	if sr.Table3CSV != core.Table3CSV(direct) {
+		t.Error("/suite Table 3 CSV differs from direct-run rendering")
+	}
+}
+
+// TestFleetSurvivesBackendDeathMidSuite kills one of three backends while
+// a scatter-gathered suite is in flight; retries must re-route its work
+// and the suite must complete with zero failed programs.
+func TestFleetSurvivesBackendDeathMidSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite through the fleet; skipped in -short mode")
+	}
+	f := newFleet(t, 3, cluster.Config{Retries: 4, FailThreshold: 1})
+
+	type suiteResult struct {
+		status int
+		body   []byte
+	}
+	done := make(chan suiteResult, 1)
+	go func() {
+		resp, err := http.Post(f.ts.URL+"/suite", "application/json", strings.NewReader(`{"dispatch":"block"}`))
+		if err != nil {
+			done <- suiteResult{status: -1, body: []byte(err.Error())}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		done <- suiteResult{status: resp.StatusCode, body: data}
+	}()
+
+	// Kill backend 0 as soon as it has served at least one run (we are
+	// then provably mid-suite), or after 2s as a backstop.
+	victim := f.backends[0]
+	killed := false
+	deadline := time.Now().Add(2 * time.Second)
+	for !killed && time.Now().Before(deadline) {
+		resp, err := http.Get(victim.URL + "/metrics")
+		if err != nil {
+			break
+		}
+		var snap server.MetricsSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err == nil && snap.RunsOK >= 1 {
+			victim.CloseClientConnections()
+			victim.Close()
+			killed = true
+		}
+		select {
+		case r := <-done:
+			// The suite finished before the victim served anything (or
+			// before we could kill it) — still assert success, but the
+			// mid-suite property was not exercised this round.
+			t.Logf("suite finished before kill (killed=%t)", killed)
+			assertSuiteOK(t, r.status, r.body)
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !killed {
+		victim.CloseClientConnections()
+		victim.Close()
+	}
+
+	r := <-done
+	assertSuiteOK(t, r.status, r.body)
+
+	// The victim must be dead in the registry; the survivors healthy.
+	dead := 0
+	for _, st := range f.coord.Backends() {
+		if st.State == cluster.StateDead {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Errorf("%d dead backends in the registry, want exactly the victim", dead)
+	}
+}
+
+func assertSuiteOK(t *testing.T, status int, body []byte) {
+	t.Helper()
+	if status != http.StatusOK {
+		t.Fatalf("/suite status %d: %s", status, body)
+	}
+	var sr cluster.SuiteResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(suite.Names()); sr.Programs != want {
+		t.Fatalf("suite completed %d programs, want %d", sr.Programs, want)
+	}
+	if !strings.Contains(sr.Table2, "fir.mmx") || !strings.Contains(sr.Table3, "jpeg.c") {
+		t.Error("suite tables look incomplete")
+	}
+}
+
+// TestFleetAffinityCacheHitRate pins the routing contract: repeat requests
+// for one (program, dispatch, config) triple all land on the same backend,
+// and that backend's compiled-program cache hit rate exceeds 90%.
+func TestFleetAffinityCacheHitRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated real runs; skipped in -short mode")
+	}
+	f := newFleet(t, 4, cluster.Config{})
+
+	const reqs = 30
+	body := `{"program":"fir.mmx","dispatch":"block","skip_check":true}`
+	target := ""
+	for i := 0; i < reqs; i++ {
+		resp, data := f.run(t, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		by := resp.Header.Get(cluster.BackendHeader)
+		if target == "" {
+			target = by
+		} else if by != target {
+			t.Fatalf("request %d routed to %s, earlier ones to %s — affinity broken", i, by, target)
+		}
+	}
+
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.CacheHitRate <= 0.9 {
+		t.Errorf("routed backend cache hit rate %.3f, want > 0.9", snap.CacheHitRate)
+	}
+	if snap.RunsOK != reqs {
+		t.Errorf("routed backend served %d runs, want %d", snap.RunsOK, reqs)
+	}
+	if got := f.coord.Snapshot().AffinityHits; got != reqs {
+		t.Errorf("coordinator affinity routes %d, want %d", got, reqs)
+	}
+}

@@ -1,0 +1,83 @@
+// Fleet observability. Same design as the daemon's metrics: expvar vars
+// held on the Coordinator (not the process-global registry), rendered as
+// one JSON document together with the per-backend registry view.
+package cluster
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// fleetMetrics is the coordinator's counter set.
+type fleetMetrics struct {
+	requests      expvar.Int // /run requests accepted for routing
+	affinityHits  expvar.Int // routed to the HRW first choice
+	fallbacks     expvar.Int // affinity target saturated, least-loaded used
+	retries       expvar.Int // extra attempts after conn errors / 429s
+	hedges        expvar.Int // hedged second requests launched
+	hedgeWins     expvar.Int // hedges that answered before the primary
+	shed          expvar.Int // 503s for "no routable backend"
+	probeFailures expvar.Int
+	deaths        expvar.Int // healthy/suspect -> dead transitions
+	readmissions  expvar.Int // dead/suspect -> healthy transitions
+	suiteRuns     expvar.Int // /suite scatter-gathers served
+}
+
+func newFleetMetrics() *fleetMetrics { return &fleetMetrics{} }
+
+// FleetMetrics is the JSON document served by the coordinator's /metrics.
+type FleetMetrics struct {
+	Backends []BackendStatus `json:"backends"`
+
+	Requests     int64 `json:"requests"`
+	AffinityHits int64 `json:"affinity_routed"`
+	Fallbacks    int64 `json:"fallback_routed"`
+	Retries      int64 `json:"retries"`
+	Hedges       int64 `json:"hedges_launched"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	Shed         int64 `json:"shed_503"`
+
+	ProbeFailures int64 `json:"probe_failures"`
+	Deaths        int64 `json:"backend_deaths"`
+	Readmissions  int64 `json:"backend_readmissions"`
+	SuiteRuns     int64 `json:"suite_runs"`
+
+	Draining bool `json:"draining"`
+}
+
+// Snapshot materializes the current fleet counters and registry view.
+func (c *Coordinator) Snapshot() FleetMetrics {
+	m := c.metrics
+	return FleetMetrics{
+		Backends:      c.Backends(),
+		Requests:      m.requests.Value(),
+		AffinityHits:  m.affinityHits.Value(),
+		Fallbacks:     m.fallbacks.Value(),
+		Retries:       m.retries.Value(),
+		Hedges:        m.hedges.Value(),
+		HedgeWins:     m.hedgeWins.Value(),
+		Shed:          m.shed.Value(),
+		ProbeFailures: m.probeFailures.Value(),
+		Deaths:        m.deaths.Value(),
+		Readmissions:  m.readmissions.Value(),
+		SuiteRuns:     m.suiteRuns.Value(),
+		Draining:      c.draining.Load(),
+	}
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Snapshot())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if len(c.routableBackends()) == 0 {
+		http.Error(w, "no routable backends", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}

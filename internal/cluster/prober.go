@@ -1,0 +1,132 @@
+// The health prober. One loop wakes on a short tick and probes every
+// backend whose backoff schedule is due: GET /healthz decides liveness
+// (anything but 200 — including the 503 a draining daemon serves — is a
+// failure), and a successful probe refreshes the load view from /metrics
+// (queue depth, active runs, cache hit rate) for least-loaded fallback
+// routing. Failures back off exponentially; the first success after any
+// streak re-admits the backend immediately.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"mmxdsp/internal/server"
+)
+
+func (c *Coordinator) probeLoop() {
+	defer c.proberWG.Done()
+	tick := c.cfg.ProbeInterval / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	// Probe immediately at startup so routing has a health view before the
+	// first interval elapses.
+	c.ProbeAll()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			var wg sync.WaitGroup
+			for _, b := range c.backends {
+				if !b.dueForProbe(now) {
+					continue
+				}
+				wg.Add(1)
+				go func(b *backend) {
+					defer wg.Done()
+					c.probe(b)
+				}(b)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// ProbeAll probes every backend once, concurrently, regardless of backoff
+// schedules. The prober calls it at startup; tests call it to force a
+// deterministic health view.
+func (c *Coordinator) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, b := range c.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			c.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe runs one health check against b and updates the registry.
+func (c *Coordinator) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	if err := c.probeHealthz(ctx, b); err != nil {
+		was := b.routable()
+		state := b.noteFailure(err, &c.cfg)
+		c.metrics.probeFailures.Add(1)
+		if was && state == StateDead {
+			c.metrics.deaths.Add(1)
+		}
+		return
+	}
+	queue, active, hitRate := c.probeMetrics(ctx, b)
+	if !b.routable() {
+		c.metrics.readmissions.Add(1)
+	}
+	b.noteSuccess(queue, active, hitRate, c.cfg.ProbeInterval)
+}
+
+func (c *Coordinator) probeHealthz(ctx context.Context, b *backend) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// probeMetrics refreshes the load view; on any error it returns the
+// backend's previous view (health is /healthz's call alone).
+func (c *Coordinator) probeMetrics(ctx context.Context, b *backend) (queue, active int64, hitRate float64) {
+	b.mu.Lock()
+	queue, active, hitRate = b.queueDepth, b.activeRuns, b.cacheHitRate
+	b.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/metrics", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+		return
+	}
+	return snap.QueueDepth, snap.ActiveRuns, snap.CacheHitRate
+}

@@ -1,0 +1,161 @@
+// The backend registry: one record per configured mmxd, holding health
+// state maintained by the prober, the load view used for fallback routing,
+// and per-backend routing counters. Records are never added or removed
+// after New — death and recovery flip state in place — so slices of
+// *backend can be ranked without holding a registry-wide lock.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Health states of a backend.
+const (
+	// StateHealthy: the last probe (or data-path request) succeeded; the
+	// backend is routable.
+	StateHealthy = "healthy"
+	// StateSuspect: 1..FailThreshold-1 consecutive failures; still
+	// routable — transient blips should not shift traffic — but probed on
+	// a backoff schedule.
+	StateSuspect = "suspect"
+	// StateDead: the failure streak reached FailThreshold (or a probe saw
+	// 503-draining); not routable until a probe succeeds.
+	StateDead = "dead"
+)
+
+// backend is one registry record.
+type backend struct {
+	url string // base URL, e.g. "http://127.0.0.1:8931"
+
+	mu        sync.Mutex
+	state     string
+	fails     int       // consecutive probe/data-path failures
+	nextProbe time.Time // earliest next probe (backoff schedule)
+	lastProbe time.Time
+	lastErr   string
+	// Load view from the last successful /metrics probe.
+	queueDepth   int64
+	activeRuns   int64
+	cacheHitRate float64
+
+	// inflight counts requests this coordinator currently has outstanding
+	// to the backend (its contribution to the load view between probes).
+	inflight atomic.Int64
+
+	// Routing counters (fleet metrics).
+	routed   atomic.Int64 // requests sent here (incl. retries, hedges)
+	affinity atomic.Int64 // sent here as the HRW first choice
+	fallback atomic.Int64 // sent here by least-loaded fallback or retry
+	errors   atomic.Int64 // connection errors observed on the data path
+}
+
+func newBackend(url string) *backend {
+	return &backend{url: url, state: StateHealthy}
+}
+
+// BackendStatus is the exported registry view of one backend.
+type BackendStatus struct {
+	URL          string    `json:"url"`
+	State        string    `json:"state"`
+	Fails        int       `json:"consecutive_failures"`
+	LastProbe    time.Time `json:"last_probe"`
+	LastErr      string    `json:"last_error,omitempty"`
+	QueueDepth   int64     `json:"queue_depth"`
+	ActiveRuns   int64     `json:"active_runs"`
+	CacheHitRate float64   `json:"cache_hit_rate"`
+	Inflight     int64     `json:"inflight"`
+	Routed       int64     `json:"routed"`
+	Affinity     int64     `json:"affinity_routed"`
+	Fallback     int64     `json:"fallback_routed"`
+	Errors       int64     `json:"conn_errors"`
+}
+
+func (b *backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStatus{
+		URL: b.url, State: b.state, Fails: b.fails,
+		LastProbe: b.lastProbe, LastErr: b.lastErr,
+		QueueDepth: b.queueDepth, ActiveRuns: b.activeRuns,
+		CacheHitRate: b.cacheHitRate,
+		Inflight:     b.inflight.Load(),
+		Routed:       b.routed.Load(),
+		Affinity:     b.affinity.Load(),
+		Fallback:     b.fallback.Load(),
+		Errors:       b.errors.Load(),
+	}
+}
+
+// routable reports whether the backend may receive traffic.
+func (b *backend) routable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != StateDead
+}
+
+// load is the fallback-routing key: the queue the backend reported at its
+// last probe plus what this coordinator has added since.
+func (b *backend) load() int64 {
+	b.mu.Lock()
+	q, a := b.queueDepth, b.activeRuns
+	b.mu.Unlock()
+	return q + a + b.inflight.Load()
+}
+
+// noteSuccess records a successful probe (with the load snapshot it
+// carried) and re-admits a suspect or dead backend.
+func (b *backend) noteSuccess(queueDepth, activeRuns int64, hitRate float64, interval time.Duration) {
+	b.mu.Lock()
+	b.state = StateHealthy
+	b.fails = 0
+	b.lastErr = ""
+	b.lastProbe = time.Now()
+	b.nextProbe = b.lastProbe.Add(interval)
+	b.queueDepth, b.activeRuns, b.cacheHitRate = queueDepth, activeRuns, hitRate
+	b.mu.Unlock()
+}
+
+// noteFailure records one failed probe or data-path connection error,
+// advancing suspect -> dead at the threshold and scheduling the next probe
+// with exponential backoff. It returns the new state.
+func (b *backend) noteFailure(err error, cfg *Config) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.lastErr = err.Error()
+	b.lastProbe = time.Now()
+	if b.fails >= cfg.FailThreshold {
+		b.state = StateDead
+	} else {
+		b.state = StateSuspect
+	}
+	// Back off exponentially with the failure streak: interval, 2x, 4x...
+	// capped so a dead backend is still re-probed often enough to be
+	// re-admitted promptly after recovery.
+	backoff := cfg.ProbeInterval << (b.fails - 1)
+	if backoff > cfg.MaxProbeBackoff || backoff <= 0 {
+		backoff = cfg.MaxProbeBackoff
+	}
+	b.nextProbe = b.lastProbe.Add(backoff)
+	return b.state
+}
+
+// dueForProbe reports whether the backoff schedule allows a probe now.
+func (b *backend) dueForProbe(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !now.Before(b.nextProbe)
+}
+
+// routableBackends returns the backends currently accepting traffic.
+func (c *Coordinator) routableBackends() []*backend {
+	out := make([]*backend, 0, len(c.backends))
+	for _, b := range c.backends {
+		if b.routable() {
+			out = append(out, b)
+		}
+	}
+	return out
+}

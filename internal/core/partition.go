@@ -1,0 +1,54 @@
+package core
+
+import "mmxdsp/internal/profile"
+
+// Suite partitioning and reassembly for distributed runs. A coordinator
+// that fans a full table run across several backends needs two things from
+// core: a deterministic way to split the program list into balanced shards,
+// and a way to rebuild a ResultSet from the per-program reports it gathered
+// so the existing table and figure generators render byte-identical
+// artifacts.
+
+// Partition splits names into parts contiguous, near-equal groups, in
+// order: the first len(names)%parts groups carry one extra name. parts
+// below 1 is treated as 1, and parts beyond len(names) yields len(names)
+// single-element groups (never empty groups). The concatenation of the
+// groups is always exactly names.
+func Partition(names []string, parts int) [][]string {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(names) {
+		parts = len(names)
+	}
+	if parts == 0 {
+		return nil
+	}
+	out := make([][]string, 0, parts)
+	base, extra := len(names)/parts, len(names)%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, names[start:start+size])
+		start += size
+	}
+	return out
+}
+
+// ResultSetFromReports reassembles a ResultSet from gathered reports, keyed
+// by each report's program name (nil reports are skipped). The Results
+// carry only the Report — exactly what the table and figure generators
+// read — so a set rebuilt from serialized reports renders the same
+// artifacts as the original runs.
+func ResultSetFromReports(reps []*profile.Report) ResultSet {
+	rs := make(ResultSet, len(reps))
+	for _, rep := range reps {
+		if rep != nil {
+			rs[rep.Name] = &Result{Report: rep}
+		}
+	}
+	return rs
+}

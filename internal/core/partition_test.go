@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mmxdsp/internal/profile"
+)
+
+func TestPartition(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	cases := []struct {
+		parts int
+		want  [][]string
+	}{
+		{1, [][]string{{"a", "b", "c", "d", "e", "f", "g"}}},
+		{2, [][]string{{"a", "b", "c", "d"}, {"e", "f", "g"}}},
+		{3, [][]string{{"a", "b", "c"}, {"d", "e"}, {"f", "g"}}},
+		{7, [][]string{{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"f"}, {"g"}}},
+		{100, [][]string{{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"f"}, {"g"}}},
+		{0, [][]string{{"a", "b", "c", "d", "e", "f", "g"}}},
+		{-3, [][]string{{"a", "b", "c", "d", "e", "f", "g"}}},
+	}
+	for _, c := range cases {
+		got := Partition(names, c.parts)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Partition(%d) = %v, want %v", c.parts, got, c.want)
+		}
+	}
+	if got := Partition(nil, 4); got != nil {
+		t.Errorf("Partition(nil, 4) = %v, want nil", got)
+	}
+}
+
+// TestPartitionCoversAll pins the invariant the scatter-gather path relies
+// on: every name appears in exactly one shard, in order, for any shard
+// count.
+func TestPartitionCoversAll(t *testing.T) {
+	names := make([]string, 19)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	for parts := 1; parts <= 25; parts++ {
+		var flat []string
+		for _, p := range Partition(names, parts) {
+			if len(p) == 0 {
+				t.Fatalf("parts=%d: empty shard", parts)
+			}
+			flat = append(flat, p...)
+		}
+		if !reflect.DeepEqual(flat, names) {
+			t.Fatalf("parts=%d: concatenation %v != %v", parts, flat, names)
+		}
+	}
+}
+
+func TestResultSetFromReports(t *testing.T) {
+	reps := []*profile.Report{
+		{Name: "fir.mmx", Cycles: 100},
+		nil,
+		{Name: "fft.c", Cycles: 2000},
+	}
+	rs := ResultSetFromReports(reps)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	if rs["fir.mmx"].Report.Cycles != 100 || rs["fft.c"].Report.Cycles != 2000 {
+		t.Fatalf("reports misplaced: %+v", rs)
+	}
+}
+
+// TestResultSetFromReportsRendersTables asserts a rebuilt set renders the
+// same Table 2 bytes as the original result set — the property the fleet
+// coordinator's /suite endpoint depends on.
+func TestResultSetFromReportsRendersTables(t *testing.T) {
+	orig := ResultSet{
+		"fir.c":   {Report: &profile.Report{Name: "fir.c", StaticInstructions: 10, Uops: 20, DynamicInstructions: 30, MemoryReferences: 3, Cycles: 50}},
+		"fir.mmx": {Report: &profile.Report{Name: "fir.mmx", StaticInstructions: 5, Uops: 10, DynamicInstructions: 12, MemoryReferences: 2, Cycles: 20}},
+	}
+	var reps []*profile.Report
+	for _, r := range orig {
+		reps = append(reps, r.Report)
+	}
+	rebuilt := ResultSetFromReports(reps)
+	if got, want := Table2(rebuilt), Table2(orig); got != want {
+		t.Errorf("Table2 mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	if got, want := Table3(rebuilt), Table3(orig); got != want {
+		t.Errorf("Table3 mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}

@@ -45,6 +45,24 @@ type TableResponse struct {
 	Table3CSV string `json:"table3_csv"`
 }
 
+// ProgramInfo describes one registered program for capability discovery.
+type ProgramInfo struct {
+	Name    string `json:"name"`    // paper-style name, e.g. "fft.mmx"
+	Base    string `json:"base"`    // benchmark family, e.g. "fft"
+	Version string `json:"version"` // "c", "fp" or "mmx"
+	Kind    string `json:"kind"`    // "kernel" or "application"
+	Descr   string `json:"descr"`
+}
+
+// ProgramsResponse is the JSON body answering GET /programs: the daemon's
+// program registry plus the dispatch modes every program accepts. A
+// coordinator fronting several daemons discovers capabilities here instead
+// of hardcoding the suite.
+type ProgramsResponse struct {
+	Programs      []ProgramInfo `json:"programs"`
+	DispatchModes []string      `json:"dispatch_modes"`
+}
+
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -285,6 +303,27 @@ func (s *Server) runSuite(ctx context.Context, req *RunRequest) (core.ResultSet,
 		return nil, firstErr
 	}
 	return rs, nil
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	benches := s.cfg.Benchmarks()
+	resp := ProgramsResponse{
+		Programs: make([]ProgramInfo, 0, len(benches)),
+		DispatchModes: []string{
+			core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric,
+		},
+	}
+	for _, b := range benches {
+		resp.Programs = append(resp.Programs, ProgramInfo{
+			Name: b.Name(), Base: b.Base, Version: b.Version,
+			Kind: b.Kind, Descr: b.Descr,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

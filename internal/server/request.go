@@ -146,6 +146,14 @@ func (r *RunRequest) configKey() string {
 		cfg.EmmsLatency, cfg.MMXMulLatency, perfect)
 }
 
+// CacheKey returns the canonical affinity key for the request: the same
+// (program, dispatch, config) triple the daemon's compiled-program cache
+// keys on. A coordinator that routes on this string lands repeat requests
+// on the backend where the artifact is already compiled, by construction.
+func (r *RunRequest) CacheKey() string {
+	return r.Program + "|" + r.dispatchMode() + "|" + r.configKey()
+}
+
 // timeout resolves the request deadline against the server default; zero
 // means no deadline.
 func (r *RunRequest) timeout(def time.Duration) time.Duration {

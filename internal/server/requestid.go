@@ -1,0 +1,59 @@
+// Request-ID correlation. A fleet deployment routes (and sometimes hedges
+// or retries) one logical request across several daemons; stamping every
+// response with the client-supplied X-Request-ID — or minting one when the
+// client sent none — lets those hops be joined in logs. The middleware sets
+// the header on the shared header map before the wrapped handler runs, so
+// every path, including error and shed responses, carries it.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// RequestIDHeader is the correlation header echoed on every response.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an echoed client ID so a hostile header cannot
+// bloat logs or responses.
+const maxRequestIDLen = 64
+
+// NewRequestID mints a fresh 16-hex-digit request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed fallback
+		// still yields a well-formed (if non-unique) ID.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID truncates an over-long client ID and rejects values
+// with bytes that are unsafe to reflect into a header or log line.
+func sanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c < 0x20 || c > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// WithRequestID wraps next so every response echoes the request's
+// X-Request-ID, generating one when the client did not supply a usable
+// value.
+func WithRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}

@@ -9,10 +9,17 @@
 //
 // Endpoints:
 //
-//	POST /run      run one benchmark (RunRequest -> RunResponse)
-//	GET  /table    run the suite, return the paper's Table 2/3 artifacts
-//	GET  /healthz  liveness (503 while draining)
-//	GET  /metrics  JSON counter snapshot (MetricsSnapshot)
+//	POST /run       run one benchmark (RunRequest -> RunResponse)
+//	GET  /table     run the suite, return the paper's Table 2/3 artifacts
+//	GET  /programs  the program registry (ProgramsResponse) — capability
+//	                discovery for coordinators fronting several daemons
+//	GET  /healthz   liveness (503 while draining)
+//	GET  /metrics   JSON counter snapshot (MetricsSnapshot)
+//
+// Every response carries an X-Request-ID header: the client's value when
+// supplied, a generated one otherwise. Error paths included — the ID is
+// stamped before the handler runs, so fleet logs can correlate a request
+// across a coordinator and the backend it was routed (or hedged) to.
 package server
 
 import (
@@ -98,13 +105,14 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/table", s.handleTable)
+	s.mux.HandleFunc("/programs", s.handlePrograms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
 // Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return WithRequestID(s.mux) }
 
 // StartDrain flips the server into drain mode: /healthz reports 503 so
 // load balancers stop routing, and new work is refused with 503 while

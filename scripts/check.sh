@@ -22,15 +22,22 @@ echo "==> go test ./... $*"
 go test "$@" ./...
 
 # The goroutine-bearing code — the concurrent suite runner, the memoized
-# registry, and the mmxd service (cache single-flight, admission queue,
-# request cancellation) — runs under the race detector.
-echo "==> go test -race ./internal/core/... ./internal/suite/... ./internal/server/..."
-go test -race ./internal/core/... ./internal/suite/... ./internal/server/...
+# registry, the mmxd service (cache single-flight, admission queue,
+# request cancellation), and the fleet coordinator (prober, retries,
+# hedging, scatter-gather) — runs under the race detector.
+echo "==> go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/..."
+go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/...
 
 # The service end-to-end suite: all 19 programs x 3 dispatch modes over
 # HTTP byte-equivalent to direct runs, plus the daemon SIGTERM drain.
 echo "==> go test -run 'TestServedReportsMatchDirectRuns|TestDaemonSIGTERMDrain' ."
 go test -run 'TestServedReportsMatchDirectRuns|TestDaemonSIGTERMDrain' .
+
+# The fleet end-to-end suite: a coordinator over real mmxd backends serves
+# the whole suite byte-identical, survives a backend dying mid-suite, and
+# keeps repeat requests affine to one warm cache.
+echo "==> go test -run 'TestFleet' ./internal/cluster"
+go test -run 'TestFleet' ./internal/cluster
 
 # Fuzz smoke: a few seconds per target keeps the corpora honest without
 # turning the gate into a fuzzing campaign (`go test -fuzz` accepts one

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# loadtest.sh — drive a local mmxd with concurrent curl loops and record
-# service throughput into BENCH_serve.json. Wall-clock numbers are
-# host-dependent; this measures, it never gates.
+# loadtest.sh — drive a local mmxd (or an mmxfleet coordinator fronting N
+# mmxd backends) with concurrent curl loops and record service throughput
+# into BENCH_serve.json: one JSON row per (program, target). Wall-clock
+# numbers are host-dependent; this measures, it never gates.
 #
-#   scripts/loadtest.sh                    # 4 clients x 8 requests, fir.mmx
-#   CLIENTS=8 REQS=16 scripts/loadtest.sh  # heavier sweep
-#   PROGRAM=jpeg.c scripts/loadtest.sh     # different benchmark
-#   OUT=serve.json scripts/loadtest.sh     # custom artifact path
+#   scripts/loadtest.sh                          # 4 clients x 8 requests, fir.mmx, one mmxd
+#   CLIENTS=8 REQS=16 scripts/loadtest.sh        # heavier sweep
+#   PROGRAMS="fir.mmx jpeg.c g711.c" scripts/loadtest.sh
+#                                                # sweep several benchmarks
+#   TARGET=coordinator BACKENDS=2 scripts/loadtest.sh
+#                                                # mmxfleet over 2 mmxd backends
+#   OUT=serve.json scripts/loadtest.sh           # custom artifact path
 #
 # Dependency-free by design: bash, curl and the Go toolchain only.
 set -euo pipefail
@@ -14,77 +18,129 @@ cd "$(dirname "$0")/.."
 
 clients="${CLIENTS:-4}"
 reqs="${REQS:-8}"
-program="${PROGRAM:-fir.mmx}"
+programs="${PROGRAMS:-${PROGRAM:-fir.mmx}}"
 dispatch="${DISPATCH:-block}"
 out="${OUT:-BENCH_serve.json}"
-addr="127.0.0.1:${PORT:-8931}"
-base="http://$addr"
+target="${TARGET:-backend}"
+nbackends="${BACKENDS:-2}"
+port="${PORT:-8931}"
 
-echo "==> go build ./cmd/mmxd"
+case "$target" in
+backend) nbackends=1 ;;
+coordinator) ;;
+*)
+    echo "loadtest.sh: TARGET must be 'backend' or 'coordinator', got '$target'" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> go build ./cmd/mmxd ./cmd/mmxfleet"
 workdir="$(mktemp -d)"
-bin="$workdir/mmxd"
-go build -o "$bin" ./cmd/mmxd
+go build -o "$workdir/mmxd" ./cmd/mmxd
+go build -o "$workdir/mmxfleet" ./cmd/mmxfleet
 
-"$bin" -addr "$addr" &
-daemon=$!
+pids=()
 cleanup() {
-    kill "$daemon" 2>/dev/null || true
-    wait "$daemon" 2>/dev/null || true
+    for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+    for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null || true; done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
 
-echo "==> waiting for $base/healthz"
-for _ in $(seq 1 100); do
-    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
-    sleep 0.1
-done
-curl -sf "$base/healthz" >/dev/null
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    curl -sf "$1/healthz" >/dev/null
+}
 
-body="{\"program\":\"$program\",\"dispatch\":\"$dispatch\",\"skip_check\":true}"
-
-# Cold-vs-warm cache latency: the first request compiles, the second hits
-# the compiled-program cache.
-cold_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$body" "$base/run")"
-warm_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$body" "$base/run")"
-echo "==> cold ${cold_s}s, warm ${warm_s}s ($program, $dispatch dispatch)"
-
-# Concurrent load: $clients curl loops of $reqs requests each.
-echo "==> $clients clients x $reqs requests"
-start_ns="$(date +%s%N)"
-pids=()
-for _ in $(seq 1 "$clients"); do
-    (
-        for _ in $(seq 1 "$reqs"); do
-            curl -sf -o /dev/null -X POST -d "$body" "$base/run"
-        done
-    ) &
+# Start the mmxd backends (one for TARGET=backend, $BACKENDS for the
+# coordinator) and, in coordinator mode, the mmxfleet in front of them.
+backend_urls=""
+for i in $(seq 0 $((nbackends - 1))); do
+    addr="127.0.0.1:$((port + 1 + i))"
+    "$workdir/mmxd" -addr "$addr" &
     pids+=("$!")
+    backend_urls="$backend_urls${backend_urls:+,}http://$addr"
 done
-wait "${pids[@]}"
-elapsed_ns=$(( $(date +%s%N) - start_ns ))
+for u in ${backend_urls//,/ }; do
+    echo "==> waiting for $u/healthz"
+    wait_healthy "$u"
+done
 
-total=$(( clients * reqs ))
-metrics="$(curl -sf "$base/metrics")"
+if [[ "$target" == "coordinator" ]]; then
+    base="http://127.0.0.1:$port"
+    "$workdir/mmxfleet" -addr "127.0.0.1:$port" -backends "$backend_urls" &
+    pids+=("$!")
+    echo "==> waiting for $base/healthz (coordinator, $nbackends backends)"
+    wait_healthy "$base"
+else
+    base="${backend_urls}"
+fi
 
-# Render the artifact with printf — no jq dependency.
-elapsed_s="$(printf '%d.%09d' $((elapsed_ns / 1000000000)) $((elapsed_ns % 1000000000)))"
-rps="$(awk -v n="$total" -v s="$elapsed_s" 'BEGIN { printf "%.2f", n / s }')"
 commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
+total=$(( clients * reqs ))
+rows=()
+
+for program in $programs; do
+    body="{\"program\":\"$program\",\"dispatch\":\"$dispatch\",\"skip_check\":true}"
+
+    # Cold-vs-warm cache latency: the first request compiles, the second
+    # hits the compiled-program cache (through the coordinator, the second
+    # request rides affinity routing to the same warm backend).
+    cold_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$body" "$base/run")"
+    warm_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$body" "$base/run")"
+    echo "==> $program: cold ${cold_s}s, warm ${warm_s}s ($dispatch dispatch, target=$target)"
+
+    # Concurrent load: $clients curl loops of $reqs requests each.
+    echo "==> $program: $clients clients x $reqs requests"
+    start_ns="$(date +%s%N)"
+    loadpids=()
+    for _ in $(seq 1 "$clients"); do
+        (
+            for _ in $(seq 1 "$reqs"); do
+                curl -sf -o /dev/null -X POST -d "$body" "$base/run"
+            done
+        ) &
+        loadpids+=("$!")
+    done
+    wait "${loadpids[@]}"
+    elapsed_ns=$(( $(date +%s%N) - start_ns ))
+
+    metrics="$(curl -sf "$base/metrics")"
+
+    # Render the row with printf — no jq dependency.
+    elapsed_s="$(printf '%d.%09d' $((elapsed_ns / 1000000000)) $((elapsed_ns % 1000000000)))"
+    rps="$(awk -v n="$total" -v s="$elapsed_s" 'BEGIN { printf "%.2f", n / s }')"
+    row="$(
+        printf '  {\n'
+        printf '    "commit": "%s",\n' "$commit"
+        printf '    "target": "%s",\n' "$target"
+        printf '    "backends": %d,\n' "$nbackends"
+        printf '    "program": "%s",\n' "$program"
+        printf '    "dispatch": "%s",\n' "$dispatch"
+        printf '    "clients": %d,\n' "$clients"
+        printf '    "requests": %d,\n' "$total"
+        printf '    "elapsed_seconds": %s,\n' "$elapsed_s"
+        printf '    "requests_per_second": %s,\n' "$rps"
+        printf '    "cold_seconds": %s,\n' "$cold_s"
+        printf '    "warm_seconds": %s,\n' "$warm_s"
+        printf '    "metrics": %s\n' "$metrics"
+        printf '  }'
+    )"
+    rows+=("$row")
+    echo "==> $program: $total requests in ${elapsed_s}s (${rps} req/s)"
+done
 
 {
-    printf '{\n'
-    printf '  "commit": "%s",\n' "$commit"
-    printf '  "program": "%s",\n' "$program"
-    printf '  "dispatch": "%s",\n' "$dispatch"
-    printf '  "clients": %d,\n' "$clients"
-    printf '  "requests": %d,\n' "$total"
-    printf '  "elapsed_seconds": %s,\n' "$elapsed_s"
-    printf '  "requests_per_second": %s,\n' "$rps"
-    printf '  "cold_seconds": %s,\n' "$cold_s"
-    printf '  "warm_seconds": %s,\n' "$warm_s"
-    printf '  "metrics": %s\n' "$metrics"
-    printf '}\n'
+    printf '[\n'
+    for i in "${!rows[@]}"; do
+        printf '%s' "${rows[$i]}"
+        if (( i + 1 < ${#rows[@]} )); then printf ','; fi
+        printf '\n'
+    done
+    printf ']\n'
 } > "$out"
 
-echo "==> $total requests in ${elapsed_s}s (${rps} req/s); wrote $out"
+echo "==> wrote ${#rows[@]} row(s) to $out"
