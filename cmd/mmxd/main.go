@@ -8,6 +8,8 @@
 //	mmxd -addr 127.0.0.1:9000   # custom listen address
 //	mmxd -cache 128 -queue 256  # bigger artifact cache / admission queue
 //	mmxd -timeout 30s           # default per-request deadline
+//	mmxd -result-cache 1024     # bigger result cache (0 disables)
+//	mmxd -result-cache-dir /var/cache/mmxd   # results survive restarts
 //
 // Endpoints: POST /run, GET /table, GET /healthz, GET /metrics. See
 // internal/server for the request and response schemas, and the README's
@@ -37,6 +39,8 @@ func main() {
 		queue     = flag.Int("queue", 64, "admission-queue depth before 429")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-request deadline (0 = none)")
 		maxInstrs = flag.Int64("max-instrs", 0, "server-wide instruction-budget cap (0 = unlimited)")
+		resCache  = flag.Int("result-cache", 512, "result-cache entries (LRU of response bytes; 0 disables)")
+		resDir    = flag.String("result-cache-dir", "", "spill cached results here so they survive restarts")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
@@ -45,19 +49,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The flag speaks "0 = off"; the Config zero value means "default", so
+	// off maps to the negative sentinel.
+	resEntries := *resCache
+	if resEntries <= 0 {
+		resEntries = -1
+	}
 	srv := server.New(server.Config{
-		CacheEntries:   *cacheSize,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxInstrsCap:   *maxInstrs,
+		CacheEntries:       *cacheSize,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *timeout,
+		MaxInstrsCap:       *maxInstrs,
+		ResultCacheEntries: resEntries,
+		ResultCacheDir:     *resDir,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("mmxd: serving on %s (cache=%d queue=%d timeout=%s)",
-			*addr, *cacheSize, *queue, *timeout)
+		log.Printf("mmxd: serving on %s (cache=%d results=%d queue=%d timeout=%s)",
+			*addr, *cacheSize, resEntries, *queue, *timeout)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

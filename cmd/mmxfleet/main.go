@@ -42,6 +42,7 @@ func main() {
 		retries       = flag.Int("retries", 2, "per-request retry budget (conn errors and 429s)")
 		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge a second request after this latency (0 = off)")
 		maxInflight   = flag.Int64("max-inflight", 0, "per-backend in-flight cap before affinity fallback (0 = off)")
+		resCache      = flag.Int("result-cache", 512, "coordinator result-cache entries (a hit skips the backend round-trip; 0 disables)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
@@ -56,14 +57,19 @@ func main() {
 			urls = append(urls, u)
 		}
 	}
+	resEntries := *resCache
+	if resEntries <= 0 {
+		resEntries = -1 // flag "0 = off" -> Config's negative sentinel
+	}
 	coord, err := cluster.New(cluster.Config{
-		Backends:      urls,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		FailThreshold: *failThreshold,
-		Retries:       *retries,
-		HedgeAfter:    *hedgeAfter,
-		MaxInflight:   *maxInflight,
+		Backends:           urls,
+		ProbeInterval:      *probeInterval,
+		ProbeTimeout:       *probeTimeout,
+		FailThreshold:      *failThreshold,
+		Retries:            *retries,
+		HedgeAfter:         *hedgeAfter,
+		MaxInflight:        *maxInflight,
+		ResultCacheEntries: resEntries,
 	})
 	if err != nil {
 		log.Fatalf("mmxfleet: %v", err)
@@ -74,8 +80,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: coord.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("mmxfleet: serving on %s, %d backends (probe=%s retries=%d hedge=%s)",
-			*addr, len(urls), *probeInterval, *retries, *hedgeAfter)
+		log.Printf("mmxfleet: serving on %s, %d backends (probe=%s retries=%d hedge=%s results=%d)",
+			*addr, len(urls), *probeInterval, *retries, *hedgeAfter, resEntries)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -77,6 +77,13 @@ type Config struct {
 	// disables the check).
 	QueueSaturation int64
 
+	// ResultCacheEntries bounds the coordinator's result cache of marshaled
+	// /run response bytes (default 512; negative disables it). A hit is
+	// answered locally — no backend round-trip — and /suite gathers its
+	// per-program reports through the same cache. Runs are deterministic,
+	// so cached bytes equal whatever a backend would recompute.
+	ResultCacheEntries int
+
 	// Client issues backend requests; nil selects a pooled default with no
 	// overall timeout (per-request contexts bound each call).
 	Client *http.Client
@@ -107,6 +114,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.QueueSaturation == 0 {
 		cfg.QueueSaturation = 16
 	}
+	if cfg.ResultCacheEntries == 0 {
+		cfg.ResultCacheEntries = 512
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 64,
@@ -120,6 +130,7 @@ func (c *Config) withDefaults() Config {
 type Coordinator struct {
 	cfg      Config
 	backends []*backend
+	results  *server.ResultCache // nil when result caching is disabled
 	metrics  *fleetMetrics
 	mux      *http.ServeMux
 
@@ -144,6 +155,9 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:     cfg,
 		metrics: newFleetMetrics(),
 		stop:    make(chan struct{}),
+	}
+	if cfg.ResultCacheEntries > 0 {
+		c.results = server.NewResultCache(cfg.ResultCacheEntries, "")
 	}
 	seen := map[string]bool{}
 	for _, raw := range cfg.Backends {

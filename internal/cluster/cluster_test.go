@@ -52,6 +52,9 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 	})
 	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
 		f.lastID.Store(r.Header.Get(server.RequestIDHeader))
+		// Drain the body before stalling: the server only notices a client
+		// disconnect (r.Context()) once the request body is consumed.
+		body, _ := io.ReadAll(r.Body)
 		if d := f.runDelay.Load(); d > 0 {
 			select {
 			case <-time.After(time.Duration(d)):
@@ -64,7 +67,6 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 			return
 		}
 		f.runs.Add(1)
-		body, _ := io.ReadAll(r.Body)
 		var req struct {
 			Program string `json:"program"`
 		}
@@ -90,6 +92,11 @@ func newTestCoordinator(t *testing.T, cfg Config, fakes ...*fakeBackend) (*Coord
 	}
 	if cfg.RetryBackoff == 0 {
 		cfg.RetryBackoff = time.Millisecond
+	}
+	// Routing tests count backend arrivals, so identical repeats must route
+	// every time; result caching is opt-in per test.
+	if cfg.ResultCacheEntries == 0 {
+		cfg.ResultCacheEntries = -1
 	}
 	c, err := New(cfg)
 	if err != nil {

@@ -31,9 +31,18 @@ type fleet struct {
 
 func newFleet(t *testing.T, n int, cfg cluster.Config) *fleet {
 	t.Helper()
+	// Result caching is opt-in per test at both tiers: the routing and
+	// affinity tests count backend executions, so repeats must re-route.
+	if cfg.ResultCacheEntries == 0 {
+		cfg.ResultCacheEntries = -1
+	}
+	backendCfg := server.Config{ResultCacheEntries: -1}
+	if cfg.ResultCacheEntries > 0 {
+		backendCfg.ResultCacheEntries = cfg.ResultCacheEntries
+	}
 	f := &fleet{}
 	for i := 0; i < n; i++ {
-		bts := httptest.NewServer(server.New(server.Config{}).Handler())
+		bts := httptest.NewServer(server.New(backendCfg).Handler())
 		t.Cleanup(bts.Close)
 		f.backends = append(f.backends, bts)
 		cfg.Backends = append(cfg.Backends, bts.URL)
@@ -290,5 +299,144 @@ func TestFleetAffinityCacheHitRate(t *testing.T) {
 	}
 	if got := f.coord.Snapshot().AffinityHits; got != reqs {
 		t.Errorf("coordinator affinity routes %d, want %d", got, reqs)
+	}
+}
+
+// TestFleetResultCacheBothTiers enables result caching at the coordinator
+// AND the backends: the first request for a key misses through both tiers
+// and executes once; every repeat is answered by the coordinator without a
+// backend round-trip, byte-identical; and a repeated /suite costs zero
+// additional backend executions.
+func TestFleetResultCacheBothTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real runs through the fleet; skipped in -short mode")
+	}
+	f := newFleet(t, 2, cluster.Config{ResultCacheEntries: 256})
+
+	body := `{"program":"fir.mmx","dispatch":"block","skip_check":true}`
+	resp1, data1 := f.run(t, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp1.StatusCode, data1)
+	}
+	if got := resp1.Header.Get(server.ResultCacheHeader); got != "miss" {
+		t.Errorf("first run cache header = %q, want miss", got)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag through the fleet")
+	}
+
+	const repeats = 20
+	for i := 0; i < repeats; i++ {
+		resp, data := f.run(t, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repeat %d: status %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get(server.ResultCacheHeader); got != "hit" {
+			t.Errorf("repeat %d cache header = %q, want hit", i, got)
+		}
+		if string(data) != string(data1) {
+			t.Fatalf("repeat %d served different bytes", i)
+		}
+	}
+
+	// Exactly one backend execution total: the coordinator absorbed every
+	// repeat.
+	var runs int64
+	for _, bts := range f.backends {
+		resp, err := http.Get(bts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap server.MetricsSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs += snap.RunsOK
+	}
+	if runs != 1 {
+		t.Errorf("backends executed %d runs, want 1", runs)
+	}
+	snap := f.coord.Snapshot()
+	if snap.ResultMisses != 1 || snap.ResultHits != repeats {
+		t.Errorf("coordinator result hits/misses = %d/%d, want %d/1",
+			snap.ResultHits, snap.ResultMisses, repeats)
+	}
+	if rate := snap.ResultHitRate; rate < 0.95 {
+		t.Errorf("coordinator result-cache hit rate %.3f, want >= 0.95", rate)
+	}
+
+	// Revalidation through the fleet: the coordinator's own ETag answers 304.
+	req, err := http.NewRequest(http.MethodPost, f.ts.URL+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match through the fleet: status %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestFleetSuiteWarmsFromRunTraffic pins the /suite-through-the-cache
+// contract: a second identical /suite re-gathers every program from the
+// coordinator's result cache, costing zero additional backend executions.
+func TestFleetSuiteWarmsFromRunTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite through the fleet; skipped in -short mode")
+	}
+	f := newFleet(t, 2, cluster.Config{ResultCacheEntries: 256})
+
+	post := func() (int, []byte) {
+		resp, err := http.Post(f.ts.URL+"/suite", "application/json", strings.NewReader(`{"dispatch":"block"}`))
+		if err != nil {
+			t.Fatalf("POST /suite: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data
+	}
+	backendRuns := func() int64 {
+		var runs int64
+		for _, bts := range f.backends {
+			resp, err := http.Get(bts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var snap server.MetricsSnapshot
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs += snap.RunsOK
+		}
+		return runs
+	}
+
+	status, data1 := post()
+	if status != http.StatusOK {
+		t.Fatalf("first /suite: status %d: %s", status, data1)
+	}
+	cold := backendRuns()
+	if want := int64(len(suite.Names())); cold != want {
+		t.Fatalf("first /suite executed %d backend runs, want %d", cold, want)
+	}
+
+	status, data2 := post()
+	if status != http.StatusOK {
+		t.Fatalf("second /suite: status %d", status)
+	}
+	if string(data1) != string(data2) {
+		t.Error("repeated /suite produced different bytes")
+	}
+	if warm := backendRuns(); warm != cold {
+		t.Errorf("second /suite executed %d extra backend runs, want 0", warm-cold)
 	}
 }

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParseSuiteRequest throws arbitrary bodies at the /suite decoder. The
+// decoder must never panic, any request it accepts must carry a coherent
+// shard selector, and resolving that selector against a program list of
+// any size must be total — the historical coordinator panic was exactly an
+// accepted selector indexing past core.Partition's clamped output.
+func FuzzParseSuiteRequest(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"dispatch":"block"}`))
+	f.Add([]byte(`{"dispatch":"warp"}`))
+	f.Add([]byte(`{"part":20,"of":25}`)) // the crash reproducer
+	f.Add([]byte(`{"part":0,"of":1,"timeout_ms":250}`))
+	f.Add([]byte(`{"part":-1,"of":3}`))
+	f.Add([]byte(`{"of":-2}`))
+	f.Add([]byte(`{"config":{"disable_pairing":true,"emms_latency":53}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"part":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := parseSuiteRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("non-nil request returned alongside an error")
+			}
+			return
+		}
+		if req.Of < 0 {
+			t.Fatalf("negative of=%d escaped validation", req.Of)
+		}
+		if req.Of > 0 && (req.Part < 0 || req.Part >= req.Of) {
+			t.Fatalf("incoherent selector part=%d of=%d escaped validation", req.Part, req.Of)
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatalf("negative timeout_ms %d escaped validation", req.TimeoutMS)
+		}
+		// shardNames must be total for every accepted selector against any
+		// registry size, including registries smaller than `of`.
+		for _, n := range []int{0, 1, 2, 19, 400} {
+			names := make([]string, n)
+			for i := range names {
+				names[i] = fmt.Sprintf("p%d", i)
+			}
+			shard, err := shardNames(names, req.Part, req.Of)
+			if err != nil {
+				continue // rejected (e.g. of > n) — fine, as long as no panic
+			}
+			if len(shard) > n {
+				t.Fatalf("shard of %d names from a %d-name registry", len(shard), n)
+			}
+		}
+	})
+}

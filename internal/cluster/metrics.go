@@ -6,6 +6,8 @@ package cluster
 import (
 	"expvar"
 	"net/http"
+
+	"mmxdsp/internal/server"
 )
 
 // fleetMetrics is the coordinator's counter set.
@@ -21,6 +23,24 @@ type fleetMetrics struct {
 	deaths        expvar.Int // healthy/suspect -> dead transitions
 	readmissions  expvar.Int // dead/suspect -> healthy transitions
 	suiteRuns     expvar.Int // /suite scatter-gathers served
+	suiteFailed   expvar.Int // /suite requests answered with an error status
+
+	resultHits      expvar.Int // result-cache hits (no backend round-trip)
+	resultMisses    expvar.Int // result-cache misses (routed to a backend)
+	resultCoalesced expvar.Int // requests that waited on an identical in-flight miss
+}
+
+// recordResult accounts one result-cache outcome for a routed /run or a
+// gathered /suite program.
+func (m *fleetMetrics) recordResult(outcome server.ResultOutcome) {
+	switch outcome {
+	case server.ResultHit, server.ResultSpillHit:
+		m.resultHits.Add(1)
+	case server.ResultCoalesced:
+		m.resultCoalesced.Add(1)
+	default:
+		m.resultMisses.Add(1)
+	}
 }
 
 func newFleetMetrics() *fleetMetrics { return &fleetMetrics{} }
@@ -41,6 +61,14 @@ type FleetMetrics struct {
 	Deaths        int64 `json:"backend_deaths"`
 	Readmissions  int64 `json:"backend_readmissions"`
 	SuiteRuns     int64 `json:"suite_runs"`
+	SuiteFailed   int64 `json:"suite_failed"`
+
+	// Result-cache effectiveness (all zero when result caching is off).
+	// JSON names match the daemon tier so tooling extracts both the same way.
+	ResultHits      int64   `json:"result_cache_hits"`
+	ResultMisses    int64   `json:"result_cache_misses"`
+	ResultCoalesced int64   `json:"result_cache_coalesced"`
+	ResultHitRate   float64 `json:"result_cache_hit_rate"`
 
 	Draining bool `json:"draining"`
 }
@@ -48,6 +76,13 @@ type FleetMetrics struct {
 // Snapshot materializes the current fleet counters and registry view.
 func (c *Coordinator) Snapshot() FleetMetrics {
 	m := c.metrics
+	hits := m.resultHits.Value()
+	coalesced := m.resultCoalesced.Value()
+	misses := m.resultMisses.Value()
+	var hitRate float64
+	if total := hits + coalesced + misses; total > 0 {
+		hitRate = float64(hits+coalesced) / float64(total)
+	}
 	return FleetMetrics{
 		Backends:      c.Backends(),
 		Requests:      m.requests.Value(),
@@ -61,7 +96,14 @@ func (c *Coordinator) Snapshot() FleetMetrics {
 		Deaths:        m.deaths.Value(),
 		Readmissions:  m.readmissions.Value(),
 		SuiteRuns:     m.suiteRuns.Value(),
-		Draining:      c.draining.Load(),
+		SuiteFailed:   m.suiteFailed.Value(),
+
+		ResultHits:      hits,
+		ResultMisses:    misses,
+		ResultCoalesced: coalesced,
+		ResultHitRate:   hitRate,
+
+		Draining: c.draining.Load(),
 	}
 }
 

@@ -80,16 +80,60 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.metrics.requests.Add(1)
-	resp, b, err := c.routeRun(r.Context(), req.CacheKey(), body, requestID(w))
-	if err != nil {
-		if r.Context().Err() != nil {
-			writeError(w, server.StatusClientClosedRequest, err)
+	if c.results == nil {
+		resp, b, err := c.routeRun(r.Context(), req.CacheKey(), body, requestID(w))
+		if err != nil {
+			c.runRouteError(w, r, err)
 			return
 		}
-		c.shed(w, fmt.Errorf("all backends failed: %w", err))
+		relay(w, b, resp)
 		return
 	}
-	relay(w, b, resp)
+
+	// Result cache in front of routing: a hit (or a coalesced wait on an
+	// identical in-flight request) never costs a backend round-trip. Only
+	// authoritative 200s are cached; any other backend answer is relayed
+	// uncached through the sentinel path below.
+	var pass *backendResp
+	var passFrom *backend
+	res, outcome, err := c.results.Do(r.Context(), req.ResultKey(), func() ([]byte, error) {
+		resp, b, err := c.routeRun(r.Context(), req.CacheKey(), body, requestID(w))
+		if err != nil {
+			return nil, err
+		}
+		passFrom = b
+		if resp.status != http.StatusOK {
+			pass = resp
+			return nil, errUncacheableStatus
+		}
+		return resp.body, nil
+	})
+	switch {
+	case errors.Is(err, errUncacheableStatus):
+		relay(w, passFrom, pass)
+	case err != nil:
+		c.runRouteError(w, r, err)
+	default:
+		c.metrics.recordResult(outcome)
+		if passFrom != nil {
+			w.Header().Set(BackendHeader, passFrom.url)
+		}
+		server.WriteCachedResult(w, r, res, outcome)
+	}
+}
+
+// errUncacheableStatus marks a routed response that must be relayed but
+// not cached (429s, backend errors — anything but an authoritative 200).
+var errUncacheableStatus = errors.New("uncacheable backend status")
+
+// runRouteError answers a /run whose every routing attempt died on the
+// wire: 499 when the client itself went away, coordinator shed otherwise.
+func (c *Coordinator) runRouteError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		writeError(w, server.StatusClientClosedRequest, err)
+		return
+	}
+	c.shed(w, fmt.Errorf("all backends failed: %w", err))
 }
 
 // relay writes a fully-read backend response to the client.

@@ -1,0 +1,184 @@
+// Coordinator result-cache tests plus the /suite regression coverage:
+// oversharded selectors answer 400 instead of panicking, client
+// cancellation mid-scatter answers 499 (deadline: 504) instead of blaming
+// the fleet with 502, and a cached run never costs a backend round-trip.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mmxdsp/internal/server"
+)
+
+func TestShardNames(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+
+	whole, err := shardNames(names, 0, 0)
+	if err != nil || len(whole) != len(names) {
+		t.Fatalf("of=0 should select everything: %v, %v", whole, err)
+	}
+	var total int
+	for part := 0; part < 2; part++ {
+		shard, err := shardNames(names, part, 2)
+		if err != nil {
+			t.Fatalf("part %d: %v", part, err)
+		}
+		total += len(shard)
+	}
+	if total != len(names) {
+		t.Fatalf("2-way shards cover %d of %d names", total, len(names))
+	}
+	if _, err := shardNames(names, 0, len(names)+1); err == nil {
+		t.Fatal("of > len(names) should be rejected")
+	}
+	if _, err := shardNames(names, 2, 2); err == nil {
+		t.Fatal("part >= of should be rejected")
+	}
+	if _, err := shardNames(names, -1, 2); err == nil {
+		t.Fatal("negative part should be rejected")
+	}
+}
+
+// TestSuiteOvershardedSelectorReturns400 is the regression test for the
+// coordinator panic: a selector that parses (part < of) but asks for more
+// shards than the fleet has programs used to index past the end of
+// core.Partition's clamped result.
+func TestSuiteOvershardedSelectorReturns400(t *testing.T) {
+	f := newFakeBackend(t) // registry has 2 programs; of=25 overshards it
+	c, ts := newTestCoordinator(t, Config{}, f)
+	c.ProbeAll()
+
+	resp, err := http.Post(ts.URL+"/suite", "application/json",
+		strings.NewReader(`{"part":20,"of":25}`))
+	if err != nil {
+		t.Fatalf("POST /suite: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversharded /suite: status %d, want 400", resp.StatusCode)
+	}
+	if got := c.Snapshot().SuiteFailed; got != 1 {
+		t.Errorf("suite_failed = %d, want 1", got)
+	}
+}
+
+func TestSuiteClientCancelReturns499(t *testing.T) {
+	f := newFakeBackend(t)
+	f.runDelay.Store(int64(10 * time.Second)) // stall scatter until canceled
+	c, _ := newTestCoordinator(t, Config{}, f)
+	c.ProbeAll()
+	// Warm program discovery so the canceled request reaches the scatter.
+	if _, err := c.discoverPrograms(context.Background()); err != nil {
+		t.Fatalf("discoverPrograms: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/suite", strings.NewReader(`{"dispatch":"block"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	c.handleSuite(rec, req)
+
+	if rec.Code != server.StatusClientClosedRequest {
+		t.Fatalf("canceled /suite: status %d, want 499: %s", rec.Code, rec.Body.String())
+	}
+	if got := c.Snapshot().SuiteFailed; got != 1 {
+		t.Errorf("suite_failed = %d, want 1", got)
+	}
+}
+
+func TestSuiteDeadlineReturns504(t *testing.T) {
+	f := newFakeBackend(t)
+	f.runDelay.Store(int64(10 * time.Second))
+	c, _ := newTestCoordinator(t, Config{}, f)
+	c.ProbeAll()
+	if _, err := c.discoverPrograms(context.Background()); err != nil {
+		t.Fatalf("discoverPrograms: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/suite", strings.NewReader(`{"dispatch":"block"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	c.handleSuite(rec, req)
+
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadlined /suite: status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestCoordinatorResultCacheSkipsBackendRoundTrip(t *testing.T) {
+	f := newFakeBackend(t)
+	c, ts := newTestCoordinator(t, Config{ResultCacheEntries: 64}, f)
+	c.ProbeAll()
+
+	resp1, body1 := postRun(t, ts.URL, firBody, nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d", resp1.StatusCode)
+	}
+	if got := resp1.Header.Get(server.ResultCacheHeader); got != "miss" {
+		t.Errorf("first run cache header = %q, want miss", got)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on the routed response")
+	}
+
+	resp2, body2 := postRun(t, ts.URL, firBody, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(server.ResultCacheHeader); got != "hit" {
+		t.Errorf("second run cache header = %q, want hit", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("cached coordinator response differs from the routed one")
+	}
+	if n := f.runs.Load(); n != 1 {
+		t.Fatalf("backend served %d runs, want 1 (the hit must stay local)", n)
+	}
+
+	// The coordinator revalidates with its own ETag.
+	resp3, body3 := postRun(t, ts.URL, firBody, map[string]string{"If-None-Match": etag})
+	if resp3.StatusCode != http.StatusNotModified || len(body3) != 0 {
+		t.Fatalf("If-None-Match: status %d body %d bytes, want bare 304", resp3.StatusCode, len(body3))
+	}
+
+	snap := c.Snapshot()
+	if snap.ResultMisses != 1 || snap.ResultHits != 2 {
+		t.Errorf("result hits/misses = %d/%d, want 2/1: %+v", snap.ResultHits, snap.ResultMisses, snap)
+	}
+	if snap.ResultHitRate <= 0.5 {
+		t.Errorf("result_cache_hit_rate = %v, want > 0.5", snap.ResultHitRate)
+	}
+}
+
+func TestCoordinatorDoesNotCacheBackendErrors(t *testing.T) {
+	f := newFakeBackend(t)
+	f.run429.Store(true)
+	c, ts := newTestCoordinator(t, Config{Retries: 1, ResultCacheEntries: 64}, f)
+	c.ProbeAll()
+
+	resp, _ := postRun(t, ts.URL, firBody, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shedding backend: status %d, want 429", resp.StatusCode)
+	}
+
+	// Once the backend recovers, the same request must route again and
+	// succeed — the 429 must not have been cached as the answer.
+	f.run429.Store(false)
+	resp, _ = postRun(t, ts.URL, firBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered backend: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.ResultCacheHeader); got != "miss" {
+		t.Errorf("first success cache header = %q, want miss", got)
+	}
+}

@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -76,15 +77,33 @@ func (c *Coordinator) handleSuite(w http.ResponseWriter, r *http.Request) {
 		c.shed(w, err)
 		return
 	}
-	if req.Of > 0 {
-		names = core.Partition(names, req.Of)[req.Part]
+	names, err = shardNames(names, req.Part, req.Of)
+	if err != nil {
+		// The selector parsed (part < of) but asks for finer sharding than
+		// the fleet has programs. Partition clamps to len(names) parts, so
+		// blindly indexing its result used to panic here; it is a client
+		// error, answered as one.
+		c.metrics.suiteFailed.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 
 	reports, errs := c.scatter(r, names, req)
 	if len(errs) > 0 {
-		writeError(w, http.StatusBadGateway,
-			fmt.Errorf("suite incomplete (%d of %d programs failed): %s",
-				len(errs), len(names), strings.Join(errs, "; ")))
+		c.metrics.suiteFailed.Add(1)
+		summary := fmt.Errorf("suite incomplete (%d of %d programs failed): %s",
+			len(errs), len(names), strings.Join(errs, "; "))
+		// A mid-scatter failure is only a fleet problem (502) when the fleet
+		// actually failed; if the caller's context fired, the programs died
+		// because the client went away (499) or its deadline hit (504).
+		switch {
+		case errors.Is(r.Context().Err(), context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, summary)
+		case r.Context().Err() != nil:
+			writeError(w, server.StatusClientClosedRequest, summary)
+		default:
+			writeError(w, http.StatusBadGateway, summary)
+		}
 		return
 	}
 	c.metrics.suiteRuns.Add(1)
@@ -104,6 +123,24 @@ func (c *Coordinator) handleSuite(w http.ResponseWriter, r *http.Request) {
 		Table3:    core.Table3(rs),
 		Table3CSV: core.Table3CSV(rs),
 	})
+}
+
+// shardNames resolves a (part, of) selector against the discovered program
+// list. Of == 0 means "no sharding". A selector finer than the program
+// count is rejected: core.Partition clamps its part count to len(names),
+// so indexing its result with the raw part number would walk off the end
+// (historically a coordinator panic — now a 400).
+func shardNames(names []string, part, of int) ([]string, error) {
+	if of <= 0 {
+		return names, nil
+	}
+	if of > len(names) {
+		return nil, fmt.Errorf("shard selector of=%d exceeds the fleet's %d programs", of, len(names))
+	}
+	if part < 0 || part >= of {
+		return nil, fmt.Errorf("bad shard selector part=%d of=%d", part, of)
+	}
+	return core.Partition(names, of)[part], nil
 }
 
 // parseSuiteRequest decodes a /suite body; empty means "whole suite,
@@ -171,7 +208,10 @@ func (c *Coordinator) scatter(r *http.Request, names []string, req *SuiteRequest
 }
 
 // runProgram routes one program of a scattered suite through the normal
-// /run machinery (affinity, retries, hedging) and decodes its report.
+// /run machinery (affinity, retries, hedging) and decodes its report. The
+// run goes through the coordinator's result cache when enabled, so a
+// /suite repeated under the same options — or overlapping plain /run
+// traffic — costs no backend round-trips for the programs already cached.
 func (c *Coordinator) runProgram(r *http.Request, name string, req *SuiteRequest) (*profile.Report, error) {
 	rr := server.RunRequest{
 		Program:   name,
@@ -184,28 +224,49 @@ func (c *Coordinator) runProgram(r *http.Request, name string, req *SuiteRequest
 	if err != nil {
 		return nil, err
 	}
-	resp, _, err := c.routeRun(r.Context(), rr.CacheKey(), body, r.Header.Get(server.RequestIDHeader))
+	respBody, err := c.fetchRun(r, &rr, body)
 	if err != nil {
 		return nil, err
-	}
-	if resp.status != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.Unmarshal(resp.body, &e)
-		if e.Error == "" {
-			e.Error = fmt.Sprintf("%d bytes", len(resp.body))
-		}
-		return nil, fmt.Errorf("backend status %d: %s", resp.status, e.Error)
 	}
 	var env struct {
 		Report *profile.Report `json:"report"`
 	}
-	if err := json.Unmarshal(resp.body, &env); err != nil {
+	if err := json.Unmarshal(respBody, &env); err != nil {
 		return nil, fmt.Errorf("decoding run response: %w", err)
 	}
 	if env.Report == nil {
 		return nil, errors.New("run response carried no report")
 	}
 	return env.Report, nil
+}
+
+// fetchRun returns the response body of one routed 200 /run, through the
+// result cache when enabled.
+func (c *Coordinator) fetchRun(r *http.Request, rr *server.RunRequest, body []byte) ([]byte, error) {
+	route := func() ([]byte, error) {
+		resp, _, err := c.routeRun(r.Context(), rr.CacheKey(), body, r.Header.Get(server.RequestIDHeader))
+		if err != nil {
+			return nil, err
+		}
+		if resp.status != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(resp.body, &e)
+			if e.Error == "" {
+				e.Error = fmt.Sprintf("%d bytes", len(resp.body))
+			}
+			return nil, fmt.Errorf("backend status %d: %s", resp.status, e.Error)
+		}
+		return resp.body, nil
+	}
+	if c.results == nil {
+		return route()
+	}
+	res, outcome, err := c.results.Do(r.Context(), rr.ResultKey(), route)
+	if err != nil {
+		return nil, err
+	}
+	c.metrics.recordResult(outcome)
+	return res.Body, nil
 }

@@ -8,6 +8,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
@@ -80,6 +81,33 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// marshalResponse renders v exactly as writeJSON would put it on the wire
+// (two-space indent plus trailing newline), so bytes served fresh and
+// bytes replayed from the result cache are identical by construction.
+func marshalResponse(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteCachedResult serves a cached (or just-computed) response: the
+// strong ETag always, 304 with no body when If-None-Match revalidates,
+// the stored bytes otherwise. The ResultCacheHeader says how the bytes
+// were produced.
+func WriteCachedResult(w http.ResponseWriter, r *http.Request, res *CachedResult, outcome ResultOutcome) {
+	w.Header().Set("ETag", res.ETag)
+	w.Header().Set(ResultCacheHeader, outcome.String())
+	if etagMatches(r.Header.Get("If-None-Match"), res.ETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(res.Body)
+}
+
 // runStatus maps a run failure to an HTTP status using the request
 // context: deadline -> 504, cancellation (disconnect or drain) -> 499,
 // anything else -> 500.
@@ -121,28 +149,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	comp, hit, err := s.compiledFor(req)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	// Program existence is checked before admission so unknown names stay
+	// cheap 404s; compilation itself happens under the admission slot (a
+	// flood of cold-cache requests must shed before doing compile work).
+	if _, ok := s.cfg.Lookup(req.Program); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown program %q", req.Program))
 		return
 	}
 
 	ctx, cancel := s.requestContext(r, req.timeout(s.cfg.DefaultTimeout))
 	defer cancel()
-	release, err := s.acquire(ctx)
+	res, outcome, err := s.runResult(ctx, req)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
-		s.metrics.canceled.Add(1)
-		writeError(w, runStatus(ctx, err), err)
-		return
-	}
-	defer release()
-
-	res, err := core.RunCompiled(comp, req.options(ctx))
-	if err != nil {
 		status := runStatus(ctx, err)
 		if status == http.StatusGatewayTimeout || status == StatusClientClosedRequest {
 			s.metrics.canceled.Add(1)
@@ -152,13 +174,52 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	WriteCachedResult(w, r, res, outcome)
+}
+
+// runResult answers one validated /run through the result cache:
+// a hit replays stored bytes without touching admission or the
+// interpreter; a miss single-flights executeRun so concurrent identical
+// requests simulate once. With caching disabled every request executes.
+func (s *Server) runResult(ctx context.Context, req *RunRequest) (*CachedResult, ResultOutcome, error) {
+	if s.results == nil {
+		body, err := s.executeRun(ctx, req)
+		if err != nil {
+			return nil, ResultBypass, err
+		}
+		key := req.ResultKey()
+		return &CachedResult{Key: key, ETag: ETagFor(key, body), Body: body}, ResultBypass, nil
+	}
+	return s.results.Do(ctx, req.ResultKey(), func() ([]byte, error) {
+		return s.executeRun(ctx, req)
+	})
+}
+
+// executeRun is the uncached serving path: admission, compile (under the
+// admission slot), one interpreter run, marshal. The returned bytes are
+// exactly what goes on the wire.
+func (s *Server) executeRun(ctx context.Context, req *RunRequest) ([]byte, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	comp, hit, err := s.compiledFor(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunCompiled(comp, req.options(ctx))
+	if err != nil {
+		return nil, err
+	}
 	s.metrics.recordRun(req.Program, res.Report.DynamicInstructions, res.Wall)
 
 	dispatch := req.Dispatch
 	if dispatch == "" {
 		dispatch = "auto"
 	}
-	writeJSON(w, http.StatusOK, RunResponse{
+	return marshalResponse(RunResponse{
 		Program:      req.Program,
 		Dispatch:     dispatch,
 		CacheHit:     hit,
@@ -197,23 +258,15 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.timeout(s.cfg.DefaultTimeout))
 	defer cancel()
-	// A table request occupies one admission slot for its whole suite
-	// sweep; the sweep itself fans out on an internal pool so the suite
-	// finishes in roughly max-program time rather than summed time.
-	release, err := s.acquire(ctx)
+	// The whole table is one cacheable result, keyed like a run with an
+	// empty program slot ("table|..."): the registry is static per
+	// deployment, so (dispatch, config) pins the artifact bytes.
+	res, outcome, err := s.tableResult(ctx, req)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
-		s.metrics.canceled.Add(1)
-		writeError(w, runStatus(ctx, err), err)
-		return
-	}
-	defer release()
-
-	rs, err := s.runSuite(ctx, req)
-	if err != nil {
 		status := runStatus(ctx, err)
 		if status == http.StatusGatewayTimeout || status == StatusClientClosedRequest {
 			s.metrics.canceled.Add(1)
@@ -223,11 +276,44 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	WriteCachedResult(w, r, res, outcome)
+}
+
+// tableResult mirrors runResult for GET /table.
+func (s *Server) tableResult(ctx context.Context, req *RunRequest) (*CachedResult, ResultOutcome, error) {
+	key := "table|" + req.ResultKey()
+	if s.results == nil {
+		body, err := s.executeTable(ctx, req)
+		if err != nil {
+			return nil, ResultBypass, err
+		}
+		return &CachedResult{Key: key, ETag: ETagFor(key, body), Body: body}, ResultBypass, nil
+	}
+	return s.results.Do(ctx, key, func() ([]byte, error) {
+		return s.executeTable(ctx, req)
+	})
+}
+
+// executeTable renders the Table 2/3 artifacts uncached. A table request
+// occupies one admission slot for its whole suite sweep; the sweep itself
+// fans out on an internal pool so the suite finishes in roughly
+// max-program time rather than summed time.
+func (s *Server) executeTable(ctx context.Context, req *RunRequest) ([]byte, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	rs, err := s.runSuite(ctx, req)
+	if err != nil {
+		return nil, err
+	}
 	dispatch := req.Dispatch
 	if dispatch == "" {
 		dispatch = "auto"
 	}
-	writeJSON(w, http.StatusOK, TableResponse{
+	return marshalResponse(TableResponse{
 		Dispatch:  dispatch,
 		Programs:  len(rs),
 		Table2:    core.Table2(rs),

@@ -112,6 +112,16 @@ type MetricsSnapshot struct {
 	CacheEvictions uint64  `json:"cache_evictions"`
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 
+	// Result-cache effectiveness (all zero when result caching is off).
+	ResultEntries   int     `json:"result_cache_entries"`
+	ResultCapacity  int     `json:"result_cache_capacity"`
+	ResultHits      uint64  `json:"result_cache_hits"`
+	ResultSpillHits uint64  `json:"result_cache_spill_hits"`
+	ResultMisses    uint64  `json:"result_cache_misses"`
+	ResultCoalesced uint64  `json:"result_cache_coalesced"`
+	ResultEvictions uint64  `json:"result_cache_evictions"`
+	ResultHitRate   float64 `json:"result_cache_hit_rate"`
+
 	WallMSP50 float64 `json:"wall_ms_p50"`
 	WallMSP99 float64 `json:"wall_ms_p99"`
 
@@ -140,6 +150,17 @@ func (s *Server) snapshot() MetricsSnapshot {
 		CacheHitRate:   cs.HitRate(),
 		RunsByProgram:  map[string]int64{},
 		Draining:       s.draining.Load(),
+	}
+	if s.results != nil {
+		rs := s.results.Stats()
+		snap.ResultEntries = rs.Entries
+		snap.ResultCapacity = rs.Capacity
+		snap.ResultHits = rs.Hits
+		snap.ResultSpillHits = rs.SpillHits
+		snap.ResultMisses = rs.Misses
+		snap.ResultCoalesced = rs.Coalesced
+		snap.ResultEvictions = rs.Evictions
+		snap.ResultHitRate = rs.HitRate()
 	}
 	if q := m.latency.quantiles(0.50, 0.99); q != nil {
 		snap.WallMSP50, snap.WallMSP99 = q[0], q[1]

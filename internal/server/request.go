@@ -154,6 +154,17 @@ func (r *RunRequest) CacheKey() string {
 	return r.Program + "|" + r.dispatchMode() + "|" + r.configKey()
 }
 
+// ResultKey returns the canonical result-cache key: CacheKey extended with
+// the fields that shape the response bytes but not the compiled artifact.
+// The compiled-artifact key deliberately omits max_instrs and skip_check —
+// the same code serves every budget — so reusing it verbatim for results
+// would serve wrong bytes (e.g. a budget-truncated run answering an
+// unbounded request). timeout_ms stays out of both keys: it decides
+// whether a run finishes, never what a finished run reports.
+func (r *RunRequest) ResultKey() string {
+	return r.CacheKey() + fmt.Sprintf("|mi=%d|sc=%t", r.MaxInstrs, r.SkipCheck)
+}
+
 // timeout resolves the request deadline against the server default; zero
 // means no deadline.
 func (r *RunRequest) timeout(def time.Duration) time.Duration {

@@ -1,0 +1,230 @@
+// Black-box tests for the result cache's HTTP surface: byte-identical
+// replays, ETag revalidation, request coalescing, and the admission-order
+// guarantee that a full queue sheds load before any compile work happens.
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/core"
+	"mmxdsp/internal/server"
+)
+
+const firBody = `{"program":"fir.mmx","dispatch":"block","skip_check":true}`
+
+func postRunHeaders(t *testing.T, ts *httptest.Server, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestResultCacheReplaysByteIdenticalResponses(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{ResultCacheEntries: 64})
+
+	resp1, body1 := postRunHeaders(t, ts, firBody, nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get(server.ResultCacheHeader); got != "miss" {
+		t.Errorf("first run %s = %q, want miss", server.ResultCacheHeader, got)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("first run carried no ETag")
+	}
+
+	resp2, body2 := postRunHeaders(t, ts, firBody, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(server.ResultCacheHeader); got != "hit" {
+		t.Errorf("second run %s = %q, want hit", server.ResultCacheHeader, got)
+	}
+	if !strings.EqualFold(etag, resp2.Header.Get("ETag")) {
+		t.Errorf("ETag changed across identical runs: %q vs %q", etag, resp2.Header.Get("ETag"))
+	}
+	if string(body1) != string(body2) {
+		t.Error("cached response bytes differ from the first execution")
+	}
+
+	snap := getMetrics(t, ts.URL)
+	if snap.RunsOK != 1 {
+		t.Errorf("runs_ok = %d, want 1 (the replay must not execute)", snap.RunsOK)
+	}
+	if snap.ResultHits != 1 || snap.ResultMisses != 1 {
+		t.Errorf("result cache hits/misses = %d/%d, want 1/1", snap.ResultHits, snap.ResultMisses)
+	}
+}
+
+func TestResultCacheETagRevalidation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{ResultCacheEntries: 64})
+
+	resp1, _ := postRunHeaders(t, ts, firBody, nil)
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on the first response")
+	}
+
+	resp304, body := postRunHeaders(t, ts, firBody, map[string]string{"If-None-Match": etag})
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match with the current tag: status %d, want 304", resp304.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Errorf("304 carried a %d-byte body", len(body))
+	}
+	if got := resp304.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+
+	respStale, body := postRunHeaders(t, ts, firBody, map[string]string{"If-None-Match": `"stale"`})
+	if respStale.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("stale If-None-Match: status %d body %d bytes, want a full 200", respStale.StatusCode, len(body))
+	}
+}
+
+func TestTableETagRevalidation(t *testing.T) {
+	lookup, all := registryFromSuite(t, "fir.c", "fir.mmx")
+	_, ts := newTestServer(t, server.Config{ResultCacheEntries: 64, Lookup: lookup, Benchmarks: all})
+
+	get := func(hdr map[string]string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/table?dispatch=block", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET /table: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp
+	}
+
+	first := get(nil)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("GET /table: status %d", first.StatusCode)
+	}
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on /table")
+	}
+	if resp := get(map[string]string{"If-None-Match": etag}); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidated /table: status %d, want 304", resp.StatusCode)
+	}
+}
+
+func TestConcurrentIdenticalRunsExecuteOnce(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{ResultCacheEntries: 64})
+	const clients = 8
+
+	var wg sync.WaitGroup
+	bodies := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postRunHeaders(t, ts, firBody, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			bodies[i] = string(data)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d saw different bytes", i)
+		}
+	}
+	snap := getMetrics(t, ts.URL)
+	if snap.RunsOK != 1 {
+		t.Errorf("runs_ok = %d, want 1 (single-flight should collapse the burst)", snap.RunsOK)
+	}
+	if total := snap.ResultHits + snap.ResultMisses + snap.ResultCoalesced; total != clients {
+		t.Errorf("result-cache lookups = %d, want %d", total, clients)
+	}
+	if snap.ResultMisses != 1 {
+		t.Errorf("result-cache misses = %d, want 1", snap.ResultMisses)
+	}
+}
+
+// TestFullQueueShedsBeforeCompiling pins the admission order: when the
+// queue is full, a cold request is shed with 429 before any compile work
+// happens (compilation runs under the admission slot, not before it).
+func TestFullQueueShedsBeforeCompiling(t *testing.T) {
+	var coldBuilds atomic.Int32
+	cold := core.Benchmark{
+		Base: "cold", Version: core.VersionC, Kind: core.KindKernel, Descr: "counts builds",
+		Build: func() (*asm.Program, error) {
+			coldBuilds.Add(1)
+			return asm.ParseSource("cold", ".proc main\n\tmov eax, 0\n")
+		},
+	}
+	lookup, all := registry(spinBench("spin"), cold)
+	_, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 1, Lookup: lookup, Benchmarks: all})
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	defer ccancel()
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequestWithContext(cctx, http.MethodPost, ts.URL+"/run",
+				strings.NewReader(`{"program":"spin.c","skip_check":true}`))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	launch()
+	waitFor(t, "the worker slot to fill", func() bool { return getMetrics(t, ts.URL).ActiveRuns == 1 })
+	launch()
+	waitFor(t, "the queue slot to fill", func() bool { return getMetrics(t, ts.URL).QueueDepth == 1 })
+
+	status, data := postRun(t, ts.URL, `{"program":"cold.c","skip_check":true}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("cold request against a full queue: status %d, want 429: %s", status, data)
+	}
+	if n := coldBuilds.Load(); n != 0 {
+		t.Errorf("shed request compiled anyway (%d builds); compilation must wait for admission", n)
+	}
+
+	ccancel()
+	wg.Wait()
+	waitFor(t, "the server to settle", func() bool {
+		snap := getMetrics(t, ts.URL)
+		return snap.ActiveRuns == 0 && snap.QueueDepth == 0
+	})
+}

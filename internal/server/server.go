@@ -40,6 +40,14 @@ type Config struct {
 	// CacheEntries bounds the compiled-program LRU (default 64 — the full
 	// suite in all three dispatch modes, with room for ablation configs).
 	CacheEntries int
+	// ResultCacheEntries bounds the result-cache LRU of marshaled response
+	// bytes (default 512; negative disables result caching). Simulation is
+	// deterministic, so a cached response is byte-identical to re-running.
+	ResultCacheEntries int
+	// ResultCacheDir, when non-empty, enables the persistent result spill
+	// tier: cached responses are also written there and survive daemon
+	// restarts. Ignored when result caching is disabled.
+	ResultCacheDir string
 	// Workers bounds concurrently executing simulations (default
 	// GOMAXPROCS).
 	Workers int
@@ -67,6 +75,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	cache   *codeCache
+	results *ResultCache // nil when result caching is disabled
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -83,6 +92,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 64
+	}
+	if cfg.ResultCacheEntries == 0 {
+		cfg.ResultCacheEntries = 512
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -101,6 +113,9 @@ func New(cfg Config) *Server {
 		cache:   newCodeCache(cfg.CacheEntries),
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.Workers),
+	}
+	if cfg.ResultCacheEntries > 0 {
+		s.results = NewResultCache(cfg.ResultCacheEntries, cfg.ResultCacheDir)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)

@@ -75,6 +75,12 @@ func registry(benches ...core.Benchmark) (func(string) (core.Benchmark, bool), f
 
 func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
 	t.Helper()
+	// Most tests exercise the execution path (admission, compiled cache,
+	// cancellation) and expect identical requests to re-run; result caching
+	// is opt-in per test.
+	if cfg.ResultCacheEntries == 0 {
+		cfg.ResultCacheEntries = -1
+	}
 	srv := server.New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)

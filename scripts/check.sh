@@ -29,9 +29,11 @@ echo "==> go test -race ./internal/core/... ./internal/suite/... ./internal/serv
 go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/...
 
 # The service end-to-end suite: all 19 programs x 3 dispatch modes over
-# HTTP byte-equivalent to direct runs, plus the daemon SIGTERM drain.
-echo "==> go test -run 'TestServedReportsMatchDirectRuns|TestDaemonSIGTERMDrain' ."
-go test -run 'TestServedReportsMatchDirectRuns|TestDaemonSIGTERMDrain' .
+# HTTP byte-equivalent to direct runs, the result cache replaying the same
+# sweep byte-identically, the daemon SIGTERM drain, and the spill tier
+# surviving a real restart.
+echo "==> go test -run 'TestServedReportsMatchDirectRuns|TestResultCacheServesIdenticalBytes|TestDaemonSIGTERMDrain|TestDaemonResultCacheSpillSurvivesRestart' ."
+go test -run 'TestServedReportsMatchDirectRuns|TestResultCacheServesIdenticalBytes|TestDaemonSIGTERMDrain|TestDaemonResultCacheSpillSurvivesRestart' .
 
 # The fleet end-to-end suite: a coordinator over real mmxd backends serves
 # the whole suite byte-identical, survives a backend dying mid-suite, and
@@ -46,6 +48,8 @@ echo "==> go test -run '^$' -fuzz FuzzAsmSource -fuzztime 5s ./internal/asm"
 go test -run '^$' -fuzz FuzzAsmSource -fuzztime 5s ./internal/asm >/dev/null
 echo "==> go test -run '^$' -fuzz FuzzParseRequest -fuzztime 5s ./internal/server"
 go test -run '^$' -fuzz FuzzParseRequest -fuzztime 5s ./internal/server >/dev/null
+echo "==> go test -run '^$' -fuzz FuzzParseSuiteRequest -fuzztime 5s ./internal/cluster"
+go test -run '^$' -fuzz FuzzParseSuiteRequest -fuzztime 5s ./internal/cluster >/dev/null
 echo "==> go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium"
 go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium >/dev/null
 

@@ -110,6 +110,14 @@ for program in $programs; do
 
     metrics="$(curl -sf "$base/metrics")"
 
+    # Result-cache effectiveness under the repeated-config load above: the
+    # whole loop posts one identical body, so after the single cold miss
+    # every request should be answered from the result cache (the daemon's
+    # and, in coordinator mode, the coordinator's — both tiers report the
+    # same JSON field name).
+    hit_rate="$(printf '%s' "$metrics" | sed -n 's/.*"result_cache_hit_rate": *\([0-9.eE+-]*\).*/\1/p' | head -n 1)"
+    hit_rate="${hit_rate:-0}"
+
     # Render the row with printf — no jq dependency.
     elapsed_s="$(printf '%d.%09d' $((elapsed_ns / 1000000000)) $((elapsed_ns % 1000000000)))"
     rps="$(awk -v n="$total" -v s="$elapsed_s" 'BEGIN { printf "%.2f", n / s }')"
@@ -126,11 +134,12 @@ for program in $programs; do
         printf '    "requests_per_second": %s,\n' "$rps"
         printf '    "cold_seconds": %s,\n' "$cold_s"
         printf '    "warm_seconds": %s,\n' "$warm_s"
+        printf '    "result_cache_hit_rate": %s,\n' "$hit_rate"
         printf '    "metrics": %s\n' "$metrics"
         printf '  }'
     )"
     rows+=("$row")
-    echo "==> $program: $total requests in ${elapsed_s}s (${rps} req/s)"
+    echo "==> $program: $total requests in ${elapsed_s}s (${rps} req/s, result-cache hit rate ${hit_rate})"
 done
 
 {
