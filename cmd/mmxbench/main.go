@@ -61,7 +61,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 		benchJSON  = flag.String("bench-json", "", "write per-program host throughput (JSON) to this file")
 
-		dispatch    = flag.String("dispatch", "auto", "interpreter inner loop: auto, block, predecode or generic")
+		dispatch    = flag.String("dispatch", "auto", "interpreter inner loop: auto, trace, block, predecode or generic")
 		benchCommit = flag.String("bench-commit", "", "git commit hash to stamp into the -bench-json artifact")
 	)
 	flag.Parse()
@@ -88,10 +88,10 @@ func main() {
 	switch *dispatch {
 	case "auto":
 		opt.Dispatch = core.DispatchAuto
-	case "block", "predecode", "generic":
+	case "trace", "block", "predecode", "generic":
 		opt.Dispatch = *dispatch
 	default:
-		fmt.Fprintf(os.Stderr, "mmxbench: -dispatch: unknown mode %q (want auto, block, predecode or generic)\n", *dispatch)
+		fmt.Fprintf(os.Stderr, "mmxbench: -dispatch: unknown mode %q (want auto, trace, block, predecode or generic)\n", *dispatch)
 		os.Exit(2)
 	}
 	cfg := pentium.DefaultConfig()
@@ -211,6 +211,12 @@ type benchRecord struct {
 	// retired events applied through the fused block fast path.
 	Blocks      int     `json:"blocks"`
 	FastPathPct float64 `json:"fast_path_pct"`
+	// Trace-dispatch coverage (dispatch=trace only): superblocks formed,
+	// side exits as a share of trace entries, and the share of retired
+	// instructions that retired inside a superblock.
+	TracesFormed     int     `json:"traces_formed,omitempty"`
+	SideExitPct      float64 `json:"side_exit_pct,omitempty"`
+	TraceResidentPct float64 `json:"trace_resident_pct,omitempty"`
 }
 
 // benchFile is the schema of the -bench-json artifact.
@@ -244,12 +250,15 @@ func writeBenchJSON(path string, rs core.ResultSet, elapsed time.Duration, mode,
 		r := rs[name]
 		ips := r.InstrsPerSec()
 		out.Programs = append(out.Programs, benchRecord{
-			Program:      name,
-			WallSeconds:  r.Wall.Seconds(),
-			Instructions: r.Report.DynamicInstructions,
-			InstrsPerSec: ips,
-			Blocks:       r.Blocks.Compiled,
-			FastPathPct:  r.Blocks.FastPct(),
+			Program:          name,
+			WallSeconds:      r.Wall.Seconds(),
+			Instructions:     r.Report.DynamicInstructions,
+			InstrsPerSec:     ips,
+			Blocks:           r.Blocks.Compiled,
+			FastPathPct:      r.Blocks.FastPct(),
+			TracesFormed:     r.Traces.Formed,
+			SideExitPct:      r.Traces.SideExitPct(),
+			TraceResidentPct: r.Traces.ResidentPct(),
 		})
 		out.TotalInstrs += r.Report.DynamicInstructions
 		if ips > 0 {

@@ -10,6 +10,7 @@
 //	mmxd -timeout 30s           # default per-request deadline
 //	mmxd -result-cache 1024     # bigger result cache (0 disables)
 //	mmxd -result-cache-dir /var/cache/mmxd   # results survive restarts
+//	mmxd -result-cache-max-bytes 64000000    # bound the spill directory
 //
 // Endpoints: POST /run, GET /table, GET /healthz, GET /metrics. See
 // internal/server for the request and response schemas, and the README's
@@ -41,6 +42,8 @@ func main() {
 		maxInstrs = flag.Int64("max-instrs", 0, "server-wide instruction-budget cap (0 = unlimited)")
 		resCache  = flag.Int("result-cache", 512, "result-cache entries (LRU of response bytes; 0 disables)")
 		resDir    = flag.String("result-cache-dir", "", "spill cached results here so they survive restarts")
+		resBytes  = flag.Int64("result-cache-max-bytes", 256<<20, "spill-directory size bound; oldest results evicted beyond it (0 = unlimited)")
+		resFiles  = flag.Int("result-cache-max-files", 8192, "spill-directory file-count bound (0 = unlimited)")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
@@ -63,6 +66,9 @@ func main() {
 		MaxInstrsCap:       *maxInstrs,
 		ResultCacheEntries: resEntries,
 		ResultCacheDir:     *resDir,
+
+		ResultCacheSpillMaxBytes: *resBytes,
+		ResultCacheSpillMaxFiles: *resFiles,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

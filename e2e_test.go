@@ -1,5 +1,5 @@
 // End-to-end tests for the mmxd service: the full 19-program suite in all
-// three dispatch modes served over HTTP must be byte-equivalent to direct
+// four dispatch modes served over HTTP must be byte-equivalent to direct
 // core.Run reports, and the real daemon binary must drain gracefully on
 // SIGTERM.
 package mmxdsp
@@ -30,14 +30,14 @@ import (
 // report byte-equivalent to a direct core.Run with the same options.
 func TestServedReportsMatchDirectRuns(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 19x3 sweep (served and direct); skipped in -short mode")
+		t.Skip("full 19x4 sweep (served and direct); skipped in -short mode")
 	}
 	srv := server.New(server.Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	benches := suite.All()
-	modes := []string{core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric}
+	modes := []string{core.DispatchTrace, core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric}
 
 	for _, mode := range modes {
 		// Direct side: the cache-free reference, run on the suite pool.
@@ -236,14 +236,14 @@ func TestDaemonSIGTERMDrain(t *testing.T) {
 // not re-execute the simulation.
 func TestResultCacheServesIdenticalBytes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 19x3 sweep served twice; skipped in -short mode")
+		t.Skip("full 19x4 sweep served twice; skipped in -short mode")
 	}
 	srv := server.New(server.Config{}) // result cache on by default
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	benches := suite.All()
-	modes := []string{core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric}
+	modes := []string{core.DispatchTrace, core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric}
 
 	fetch := func(name, mode string) (*http.Response, []byte) {
 		body := fmt.Sprintf(`{"program":%q,"dispatch":%q,"skip_check":true}`, name, mode)

@@ -28,7 +28,7 @@ import (
 // object) runs the whole suite with default options.
 type SuiteRequest struct {
 	// Dispatch selects the backends' interpreter loop ("", "auto",
-	// "block", "predecode", "generic").
+	// "trace", "block", "predecode", "generic").
 	Dispatch string `json:"dispatch,omitempty"`
 	// TimeoutMS bounds each routed program run (0 = backend default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -156,7 +156,7 @@ func parseSuiteRequest(data []byte) (*SuiteRequest, error) {
 		return nil, fmt.Errorf("invalid JSON: %w", err)
 	}
 	switch req.Dispatch {
-	case "", "auto", core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric:
+	case "", "auto", core.DispatchBlock, core.DispatchTrace, core.DispatchPredecode, core.DispatchGeneric:
 	default:
 		return nil, fmt.Errorf("unknown dispatch mode %q", req.Dispatch)
 	}

@@ -59,6 +59,10 @@ const (
 	DispatchPredecode = "predecode"
 	// DispatchGeneric runs the decode-per-step reference interpreter.
 	DispatchGeneric = "generic"
+	// DispatchTrace layers runtime superblock formation with register
+	// caching on top of block dispatch (see vm/trace.go). Results are
+	// byte-identical to every other mode; only throughput differs.
+	DispatchTrace = "trace"
 )
 
 // Options configures a run.
@@ -87,8 +91,8 @@ type Options struct {
 	// retires (in completion order, serialized). Run ignores it.
 	Progress func(RunStatus)
 	// Dispatch selects the interpreter inner loop (DispatchAuto,
-	// DispatchBlock, DispatchPredecode or DispatchGeneric). Run rejects
-	// unknown values.
+	// DispatchTrace, DispatchBlock, DispatchPredecode or
+	// DispatchGeneric). Run rejects unknown values.
 	Dispatch string
 	// Ctx, when non-nil, cancels work in flight: Run installs a VM poll
 	// hook that aborts the interpreter within vm.DefaultPollInterval
@@ -135,6 +139,42 @@ type Result struct {
 	Wall time.Duration
 	// Blocks reports block-dispatch coverage for the run.
 	Blocks BlockStats
+	// Traces reports trace-dispatch behavior (zero unless Dispatch was
+	// DispatchTrace): superblocks formed, full iterations, side exits.
+	Traces TraceStats
+}
+
+// TraceStats describes trace-dispatch behavior for one run; like
+// BlockStats it is diagnostic host-side data, separate from Report.
+type TraceStats struct {
+	// Formed is the number of superblocks formed at run time.
+	Formed int
+	// Iters and Exits count full trace iterations and side exits.
+	Iters uint64
+	Exits uint64
+	// TraceInstrs is the number of instructions retired inside traces;
+	// Executed the whole run's retired count (both regions), so
+	// TraceInstrs/Executed is the trace-resident share.
+	TraceInstrs uint64
+	Executed    uint64
+}
+
+// SideExitPct returns side exits as a percentage of trace entries.
+func (s TraceStats) SideExitPct() float64 {
+	total := s.Iters + s.Exits
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Exits) / float64(total)
+}
+
+// ResidentPct returns the percentage of all retired instructions that
+// retired inside a superblock.
+func (s TraceStats) ResidentPct() float64 {
+	if s.Executed == 0 {
+		return 0
+	}
+	return 100 * float64(s.TraceInstrs) / float64(s.Executed)
 }
 
 // InstrsPerSec returns the host simulation throughput in retired
@@ -202,6 +242,8 @@ func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
 	}
 	switch opt.Dispatch {
 	case DispatchAuto, DispatchBlock:
+	case DispatchTrace:
+		cpu.Traces = true
 	case DispatchPredecode:
 		cpu.NoBlocks = true
 	case DispatchGeneric:
@@ -240,5 +282,10 @@ func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
 	}
 	fast, perEvent := col.BlockStats()
 	blocks := BlockStats{Compiled: cpu.CompiledBlocks(), FastEvents: fast, PerEvents: perEvent}
-	return &Result{Benchmark: b, Report: rep, Wall: wall, Blocks: blocks}, nil
+	vts := cpu.TraceStats()
+	traces := TraceStats{
+		Formed: vts.Formed, Iters: vts.Iters, Exits: vts.Exits,
+		TraceInstrs: vts.TraceInstrs, Executed: uint64(cpu.Executed()),
+	}
+	return &Result{Benchmark: b, Report: rep, Wall: wall, Blocks: blocks, Traces: traces}, nil
 }

@@ -202,6 +202,7 @@ func (m *Model) replayBlock(bt *blockTiming, sig []uint8, out *blockSched) {
 
 // apply shifts the schedule by the model's current clock and commits it.
 func (m *Model) apply(s *blockSched) {
+	m.seq++
 	base := m.now
 	m.now = base + s.delta
 	m.paired += s.pairs

@@ -1,0 +1,420 @@
+// Chain-level timing: a trace (superblock) is a fixed sequence of basic
+// blocks fused across taken branches, so one full on-trace iteration retires
+// a fixed event sequence — each block's straight-line body followed by its
+// terminator with a known direction. Like a block body (block.go), the cycle
+// schedule of that sequence is a pure function of the dynamic entry state,
+// which a chain reaches through only three inputs:
+//
+//   - the lag of each live-in register (read before written anywhere in the
+//     chain);
+//   - the cache penalty charged to each memory reference this iteration;
+//   - the BTB prediction each chain branch would see at entry (the BTB
+//     evolves inside the iteration, but every branch PC occurs once and
+//     same-slot collisions between chain branches are declined at build
+//     time, so entry predictions fully determine the replay).
+//
+// RetireChain resolves a (lags, penalties, predictions) signature by
+// replaying the whole event sequence once through a scratch model with the
+// BTB seeded to reproduce those predictions, memoizes the schedule in a
+// per-chain MRU variant table, and thereafter applies it as one aggregate
+// update: clock delta, pair/branch/mispredict counts, scoreboard writes,
+// live BTB updates, exit pairing state. Steady-state loops hit the lastHit
+// variant with a single signature comparison. When no schedule applies
+// (oversized lags/penalties, entry pairing risk), it declines without
+// touching state and the caller replays per-block/per-event.
+package pentium
+
+import (
+	"mmxdsp/internal/isa"
+	"mmxdsp/internal/vm"
+)
+
+// maxChainSig bounds the signature length (lags + penalties + predictions);
+// longer chains fall back to per-block retirement.
+const maxChainSig = 255
+
+// ChainTerm describes one block terminator inside a chain: its PC (-1 for a
+// fall-through block, which emits no event) and the recorded direction the
+// chain follows (always true for unconditional jumps).
+type ChainTerm struct {
+	PC    int32
+	Taken bool
+}
+
+// chainSched is one resolved schedule of a whole chain iteration under a
+// specific entry signature.
+type chainSched struct {
+	// costs[i] is the clock advance charged by the chain's i-th event (body
+	// instructions and terminators interleaved in retirement order; 0 for
+	// the V-pipe half of a pair). Slice identity names the schedule, exactly
+	// as with blockSched.
+	costs  []uint32
+	delta  uint64
+	pairs  uint64
+	brs    uint64 // branch events in the chain (constant, kept per variant)
+	mis    uint64 // mispredicts under this signature
+	writes []regReady
+	exitU  bool
+	uOff   uint64
+	uT     *instTiming
+}
+
+// chainVariant is one cached schedule with its entry signature.
+type chainVariant struct {
+	sig []uint8
+	s   chainSched
+}
+
+// ChainTiming is the timing record of one trace. Build one per registered
+// trace with NewChain; a nil ChainTiming (declined at build time) makes
+// RetireChain decline every call.
+type ChainTiming struct {
+	// pcs lists every event-emitting instruction of one full iteration in
+	// retirement order; evTaken carries each event's recorded Taken flag
+	// (true for terminators that transfer — Retire's pairU latch reads it
+	// even for non-branches); memN counts the memory-referencing ones.
+	pcs     []int32
+	evTaken []bool
+	memN    int
+	// guards lists the chain's live-in registers (read before any in-chain
+	// write).
+	guards []isa.Reg
+	// pairRisk mirrors blockTiming.pairRisk for the chain's first event.
+	pairRisk bool
+	// branchPCs/branchTaken list the conditional-branch events in order with
+	// their recorded directions; predictions for these complete the entry
+	// signature, and taken directions drive the live BTB updates at apply.
+	branchPCs   []int32
+	branchTaken []bool
+
+	variants []chainVariant
+	nextVar  int
+	lastHit  int
+
+	// Steady state: a loop chain iterating back to back settles into one
+	// variant whose application reproduces its own entry signature — written
+	// guards land at a constant lag (off − delta), unwritten guards decay to
+	// lag 0, and the chain's BTB counters saturate at their recorded
+	// directions. Once RetireChain observes the same variant match on two
+	// consecutive calls with nothing else touching the model (Model.seq
+	// unchanged) and every chain branch saturated, it records the variant in
+	// steady; subsequent calls then skip signature construction, comparison
+	// and the (no-op) BTB updates entirely, verifying only that the caller's
+	// penalties still match. Any other model activity changes Model.seq and
+	// disarms the fast path until steady state is re-proven.
+	steady   int // variant index, -1 when not in steady state
+	seqAfter uint64
+}
+
+// NewChain builds the chain timing record for a trace visiting the given
+// blocks (by bound-program block index) with the given terminator record per
+// block. It returns nil — and RetireChain will always decline — when the
+// model is unbound, a block index is out of range, two chain branches
+// collide on a BTB slot (entry predictions would not determine the replay),
+// or the signature would exceed maxChainSig.
+func (m *Model) NewChain(blocks []int32, terms []ChainTerm) *ChainTiming {
+	if m.blockT == nil || len(blocks) != len(terms) {
+		return nil
+	}
+	ct := &ChainTiming{steady: -1}
+	var written, guarded [isa.NumRegs]bool
+	addEvent := func(pc int32, taken bool) {
+		t := &m.pcT[pc]
+		if len(ct.pcs) == 0 {
+			ct.pairRisk = !m.cfg.DisablePairing && t.pairV && t.occ == 1
+		}
+		for _, r := range t.reads {
+			if !written[r] && !guarded[r] {
+				guarded[r] = true
+				ct.guards = append(ct.guards, r)
+			}
+		}
+		for _, r := range t.writes {
+			written[r] = true
+		}
+		if t.refsMem {
+			ct.memN++
+		}
+		ct.pcs = append(ct.pcs, pc)
+		ct.evTaken = append(ct.evTaken, taken)
+	}
+	for i, bi := range blocks {
+		if bi < 0 || int(bi) >= len(m.blockT) {
+			return nil
+		}
+		for _, pc := range m.blockT[bi].pcs {
+			addEvent(pc, false)
+		}
+		if tpc := terms[i].PC; tpc >= 0 {
+			if int(tpc) >= len(m.pcT) {
+				return nil
+			}
+			addEvent(tpc, terms[i].Taken)
+			if m.pcT[tpc].branch {
+				// Two chain branches sharing a direct-mapped BTB slot would
+				// make the second's prediction depend on the first's update;
+				// decline so entry predictions stay a complete signature.
+				for _, prev := range ct.branchPCs {
+					if prev&255 == tpc&255 {
+						return nil
+					}
+				}
+				ct.branchPCs = append(ct.branchPCs, tpc)
+				ct.branchTaken = append(ct.branchTaken, terms[i].Taken)
+			}
+		}
+	}
+	if len(ct.pcs) == 0 {
+		return nil
+	}
+	if len(ct.guards)+ct.memN+len(ct.branchPCs) > maxChainSig {
+		return nil
+	}
+	return ct
+}
+
+// replayChain resolves one schedule variant by replaying the full event
+// sequence through a scratch model seeded from the signature: guard lags,
+// per-reference penalties, and a BTB pre-loaded so each chain branch sees
+// its signed prediction (a strongly-taken entry for predicted-taken
+// branches; an empty slot — statically predicted not taken — otherwise).
+func (m *Model) replayChain(ct *ChainTiming, sig []uint8, out *chainSched) {
+	if m.sim == nil {
+		m.sim = &Model{}
+	}
+	sim := m.sim
+	*sim = Model{cfg: m.cfg, pcT: m.pcT}
+	for i, r := range ct.guards {
+		sim.readyAt[r] = uint64(sig[i])
+	}
+	pen := sig[len(ct.guards) : len(ct.guards)+ct.memN]
+	pred := sig[len(ct.guards)+ct.memN:]
+	for i, pc := range ct.branchPCs {
+		if pred[i] != 0 {
+			slot := int(pc) & 255
+			sim.btb.valid[slot] = true
+			sim.btb.tags[slot] = pc
+			sim.btb.ctr[slot] = 3
+		}
+	}
+	out.costs = out.costs[:0]
+	var ev vm.Event
+	k := 0
+	for i, pc := range ct.pcs {
+		ev.PC = int(pc)
+		ev.MemPenalty = 0
+		ev.Taken = ct.evTaken[i]
+		if m.pcT[pc].refsMem {
+			ev.MemPenalty = int(pen[k])
+			k++
+		}
+		out.costs = append(out.costs, uint32(sim.Retire(ev)))
+	}
+	out.delta = sim.now
+	out.pairs = sim.paired
+	out.brs = sim.branches
+	out.mis = sim.mispred
+	out.writes = out.writes[:0]
+	var written [isa.NumRegs]bool
+	for _, pc := range ct.pcs {
+		for _, r := range m.pcT[pc].writes {
+			written[r] = true
+		}
+	}
+	for r := range written {
+		if written[r] {
+			out.writes = append(out.writes, regReady{reg: isa.Reg(r), off: sim.readyAt[r]})
+		}
+	}
+	out.exitU = sim.haveU
+	if sim.haveU {
+		out.uOff = sim.uIssue
+		out.uT = sim.uT
+	}
+}
+
+// applyChain commits a resolved schedule: aggregate clock/counter update,
+// scoreboard writes, exit pairing state, and the live BTB updates each
+// chain branch would have performed.
+func (m *Model) applyChain(ct *ChainTiming, s *chainSched) {
+	m.seq++
+	base := m.now
+	m.now = base + s.delta
+	m.paired += s.pairs
+	m.branches += s.brs
+	m.mispred += s.mis
+	for i := range s.writes {
+		w := &s.writes[i]
+		m.readyAt[w.reg] = base + w.off
+	}
+	m.haveU = s.exitU
+	if s.exitU {
+		m.uIssue = base + s.uOff
+		m.uT = s.uT
+	}
+	if !m.cfg.DisableBTB {
+		for i, pc := range ct.branchPCs {
+			m.btb.update(int(pc), ct.branchTaken[i])
+		}
+	}
+}
+
+// applyChainSteady commits a steady-state schedule: applyChain minus the
+// BTB updates, which steady state guarantees are no-ops (every chain
+// branch's counter saturated at its recorded direction).
+func (m *Model) applyChainSteady(s *chainSched) {
+	m.seq++
+	base := m.now
+	m.now = base + s.delta
+	m.paired += s.pairs
+	m.branches += s.brs
+	m.mispred += s.mis
+	for i := range s.writes {
+		w := &s.writes[i]
+		m.readyAt[w.reg] = base + w.off
+	}
+	m.haveU = s.exitU
+	if s.exitU {
+		m.uIssue = base + s.uOff
+		m.uT = s.uT
+	}
+}
+
+// RetireChain applies a precomputed timing schedule for one full on-trace
+// iteration of the chain, given the cache penalties charged to the chain's
+// memory references this iteration (in retirement order). It returns the
+// per-event cycle costs — immutable, with slice identity naming the
+// schedule, aligned with the chain's event sequence — or nil, having
+// changed nothing, when ct is nil/declined or the entry state matches no
+// cacheable schedule; the caller must then retire per-block/per-event.
+func (m *Model) RetireChain(ct *ChainTiming, penalties []int32) []uint32 {
+	if ct == nil || len(ct.pcs) == 0 {
+		return nil
+	}
+	if m.haveU && ct.pairRisk {
+		return nil
+	}
+	if len(penalties) != ct.memN {
+		return nil
+	}
+	if ct.steady >= 0 {
+		if m.seq != ct.seqAfter {
+			ct.steady = -1
+		} else {
+			v := &ct.variants[ct.steady]
+			pen := v.sig[len(ct.guards) : len(ct.guards)+ct.memN]
+			ok := true
+			for i, p := range penalties {
+				if uint32(p) > maxSigEntry || uint8(p) != pen[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				m.applyChainSteady(&v.s)
+				ct.seqAfter = m.seq
+				return v.s.costs
+			}
+			// Penalties diverged this iteration: fall through to the full
+			// path, which re-proves or abandons steady state.
+			ct.steady = -1
+		}
+	}
+	base := m.now
+	sig := m.sigBuf[:0]
+	for _, r := range ct.guards {
+		lag := uint64(0)
+		if rt := m.readyAt[r]; rt > base {
+			lag = rt - base
+			if lag > maxSigEntry {
+				m.sigBuf = sig
+				return nil
+			}
+		}
+		sig = append(sig, uint8(lag))
+	}
+	for _, p := range penalties {
+		if p < 0 || p > maxSigEntry {
+			m.sigBuf = sig
+			return nil
+		}
+		sig = append(sig, uint8(p))
+	}
+	for _, pc := range ct.branchPCs {
+		pred := uint8(0)
+		if !m.cfg.DisableBTB && m.btb.predict(int(pc)) {
+			pred = 1
+		}
+		sig = append(sig, pred)
+	}
+	m.sigBuf = sig
+	if h := ct.lastHit; h < len(ct.variants) && sigEqual(ct.variants[h].sig, sig) {
+		v := &ct.variants[h]
+		// Same variant as the previous call, same freshly verified
+		// signature: if nothing else touched the model in between and the
+		// chain's branches are saturated, the application below reproduces
+		// this exact entry state and steady state is proven.
+		steady := m.seq == ct.seqAfter
+		if steady && !m.cfg.DisableBTB {
+			for i, pc := range ct.branchPCs {
+				if !m.btb.saturated(int(pc), ct.branchTaken[i]) {
+					steady = false
+					break
+				}
+			}
+		}
+		ct.steady = -1
+		if steady {
+			ct.steady = h
+		}
+		m.applyChain(ct, &v.s)
+		ct.seqAfter = m.seq
+		return v.s.costs
+	}
+	ct.steady = -1
+	for vi := range ct.variants {
+		v := &ct.variants[vi]
+		if sigEqual(v.sig, sig) {
+			ct.lastHit = vi
+			m.applyChain(ct, &v.s)
+			ct.seqAfter = m.seq
+			return v.s.costs
+		}
+	}
+	var v *chainVariant
+	if len(ct.variants) < maxVariants {
+		ct.variants = append(ct.variants, chainVariant{})
+		ct.lastHit = len(ct.variants) - 1
+		v = &ct.variants[ct.lastHit]
+	} else {
+		ct.lastHit = ct.nextVar
+		v = &ct.variants[ct.nextVar]
+		ct.nextVar = (ct.nextVar + 1) % maxVariants
+		// Preserve cost-slice identity for batching callers, as in
+		// RetireBlock.
+		v.s.costs = nil
+	}
+	v.sig = append(v.sig[:0], sig...)
+	m.replayChain(ct, v.sig, &v.s)
+	m.applyChain(ct, &v.s)
+	ct.seqAfter = m.seq
+	return v.s.costs
+}
+
+// ChainEventPCs returns the chain's event PCs in retirement order, aligned
+// with the cost slices RetireChain returns. The slice is shared, read-only.
+func (ct *ChainTiming) ChainEventPCs() []int32 {
+	if ct == nil {
+		return nil
+	}
+	return ct.pcs
+}
+
+// ChainMemN returns how many of the chain's events reference memory (the
+// expected penalty-vector length).
+func (ct *ChainTiming) ChainMemN() int {
+	if ct == nil {
+		return 0
+	}
+	return ct.memN
+}

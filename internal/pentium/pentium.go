@@ -82,6 +82,12 @@ type Model struct {
 	branches uint64
 	mispred  uint64
 
+	// seq counts state-mutating operations (per-event retires, block and
+	// chain applies). Chain steady-state detection (chain.go) compares it
+	// across calls to prove nothing else touched the model between two
+	// applications of the same chain variant.
+	seq uint64
+
 	btb btb
 
 	// pcT is the per-PC timing table installed by Bind; nil models derive
@@ -202,6 +208,7 @@ func occupancy(op isa.Op, lat int) int {
 
 // Retire processes one event and returns the cycles the clock advanced.
 func (m *Model) Retire(ev vm.Event) int {
+	m.seq++
 	var t *instTiming
 	if m.pcT != nil && ev.PC >= 0 && ev.PC < len(m.pcT) {
 		t = &m.pcT[ev.PC]
@@ -330,4 +337,19 @@ func (b *btb) update(pc int, taken bool) {
 	} else if b.ctr[i] > 0 {
 		b.ctr[i]--
 	}
+}
+
+// saturated reports whether an update(pc, taken) would leave every future
+// prediction unchanged: the slot is pinned at the direction's extreme, or
+// the update would be a no-op (not-taken miss, which neither allocates nor
+// trains).
+func (b *btb) saturated(pc int, taken bool) bool {
+	i := pc & 255
+	if !b.valid[i] || b.tags[i] != int32(pc) {
+		return !taken
+	}
+	if taken {
+		return b.ctr[i] == 3
+	}
+	return b.ctr[i] == 0
 }

@@ -1,10 +1,10 @@
 package pentium_test
 
-// Three-way dispatch fuzz: random-but-valid linked programs — nested
+// Dispatch-mode fuzz: random-but-valid linked programs — nested
 // counted loops over random integer/MMX/memory bodies, wrapped in a
-// measured profon/profoff region — run through the generic, predecoded and
-// block interpreter loops with the full timing pipeline (bound model,
-// collector, cache hierarchy). Every event-visible outcome must be
+// measured profon/profoff region — run through the generic, predecoded,
+// block and trace interpreter loops with the full timing pipeline (bound
+// model, collector, cache hierarchy). Every event-visible outcome must be
 // identical: registers, memory image, executed count, cycle totals and the
 // entire profiling report. This lives in an external test package because
 // the profile package imports pentium.
@@ -107,6 +107,10 @@ func runDispatch(t *testing.T, prog *asm.Program, mode string) *threeWayOutcome 
 	case "predecode":
 		cpu.NoBlocks = true
 	case "block":
+	case "trace":
+		cpu.Traces = true
+		// A low threshold makes the short fuzz loops actually form traces.
+		cpu.TraceThreshold = 4
 	default:
 		t.Fatalf("unknown mode %q", mode)
 	}
@@ -135,7 +139,7 @@ func checkThreeWay(t *testing.T, seed uint64) {
 		t.Fatalf("seed %d: link: %v", seed, err)
 	}
 	gen := runDispatch(t, prog, "generic")
-	for _, mode := range []string{"predecode", "block"} {
+	for _, mode := range []string{"predecode", "block", "trace"} {
 		got := runDispatch(t, prog, mode)
 		if got.gpr != gen.gpr {
 			t.Errorf("seed %d: %s GPRs %v, generic %v", seed, mode, got.gpr, gen.gpr)
@@ -201,12 +205,14 @@ func TestDispatchThreeWaySuitePrograms(t *testing.T) {
 				t.Fatalf("build: %v", err)
 			}
 			gen := runDispatch(t, prog, "generic")
-			blk := runDispatch(t, prog, "block")
-			if blk.cycles != gen.cycles {
-				t.Errorf("block cycles %d, generic %d", blk.cycles, gen.cycles)
-			}
-			if !reflect.DeepEqual(blk.report, gen.report) {
-				t.Errorf("reports differ:\n block %+v\n generic %+v", blk.report, gen.report)
+			for _, mode := range []string{"block", "trace"} {
+				got := runDispatch(t, prog, mode)
+				if got.cycles != gen.cycles {
+					t.Errorf("%s cycles %d, generic %d", mode, got.cycles, gen.cycles)
+				}
+				if !reflect.DeepEqual(got.report, gen.report) {
+					t.Errorf("reports differ:\n %s %+v\n generic %+v", mode, got.report, gen.report)
+				}
 			}
 		})
 	}

@@ -46,8 +46,10 @@ type Collector struct {
 	opCounts    [isa.NumOps]uint64
 
 	// blocks holds the per-block aggregate updates for ObserveBlock (see
-	// block.go); fastEvents/perEvents split retired events by path.
+	// block.go); traces the per-trace chain records for ObserveTrace (see
+	// traceobs.go); fastEvents/perEvents split retired events by path.
 	blocks     []blockAgg
+	traces     []*traceChain
 	fastEvents uint64
 	perEvents  uint64
 
@@ -173,6 +175,7 @@ type ProcProfile struct {
 func (c *Collector) Report(name string) *Report {
 	c.flushRun()
 	c.flushBlocks()
+	c.flushTraces()
 	var static uint64
 	for _, n := range c.pcCounts {
 		if n > 0 {

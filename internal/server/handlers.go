@@ -250,7 +250,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		req.TimeoutMS = ms
 	}
 	switch req.Dispatch {
-	case "", "auto", core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric:
+	case "", "auto", core.DispatchBlock, core.DispatchTrace, core.DispatchPredecode, core.DispatchGeneric:
 	default:
 		writeError(w, http.StatusBadRequest, errors.New("unknown dispatch mode "+strconv.Quote(req.Dispatch)))
 		return

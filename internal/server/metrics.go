@@ -120,7 +120,10 @@ type MetricsSnapshot struct {
 	ResultMisses    uint64  `json:"result_cache_misses"`
 	ResultCoalesced uint64  `json:"result_cache_coalesced"`
 	ResultEvictions uint64  `json:"result_cache_evictions"`
-	ResultHitRate   float64 `json:"result_cache_hit_rate"`
+	// ResultSpillEvictions counts spill files deleted by the bounded
+	// spill-directory GC.
+	ResultSpillEvictions uint64  `json:"result_cache_spill_evictions"`
+	ResultHitRate        float64 `json:"result_cache_hit_rate"`
 
 	WallMSP50 float64 `json:"wall_ms_p50"`
 	WallMSP99 float64 `json:"wall_ms_p99"`
@@ -160,6 +163,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 		snap.ResultMisses = rs.Misses
 		snap.ResultCoalesced = rs.Coalesced
 		snap.ResultEvictions = rs.Evictions
+		snap.ResultSpillEvictions = rs.SpillEvictions
 		snap.ResultHitRate = rs.HitRate()
 	}
 	if q := m.latency.quantiles(0.50, 0.99); q != nil {

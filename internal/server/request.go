@@ -37,8 +37,8 @@ type ConfigOverride struct {
 type RunRequest struct {
 	// Program is the paper-style program name, e.g. "fft.mmx".
 	Program string `json:"program"`
-	// Dispatch selects the interpreter inner loop: "", "auto", "block",
-	// "predecode" or "generic".
+	// Dispatch selects the interpreter inner loop: "", "auto", "trace",
+	// "block", "predecode" or "generic".
 	Dispatch string `json:"dispatch,omitempty"`
 	// MaxInstrs bounds execution (0 = the runner's generous default).
 	MaxInstrs int64 `json:"max_instrs,omitempty"`
@@ -72,9 +72,9 @@ func ParseRunRequest(data []byte) (*RunRequest, error) {
 		return nil, fmt.Errorf("missing required field %q", "program")
 	}
 	switch req.Dispatch {
-	case "", "auto", core.DispatchBlock, core.DispatchPredecode, core.DispatchGeneric:
+	case "", "auto", core.DispatchBlock, core.DispatchTrace, core.DispatchPredecode, core.DispatchGeneric:
 	default:
-		return nil, fmt.Errorf("unknown dispatch mode %q (want auto, block, predecode or generic)", req.Dispatch)
+		return nil, fmt.Errorf("unknown dispatch mode %q (want auto, block, trace, predecode or generic)", req.Dispatch)
 	}
 	if req.MaxInstrs < 0 {
 		return nil, fmt.Errorf("negative max_instrs %d", req.MaxInstrs)

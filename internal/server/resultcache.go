@@ -24,8 +24,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ResultCacheHeader reports how the response was produced: "hit" (memory),
@@ -110,6 +113,9 @@ type ResultCacheStats struct {
 	Misses    uint64 // fills that executed (spill also missed)
 	Coalesced uint64 // callers that waited on an identical in-flight fill
 	Evictions uint64
+	// SpillEvictions counts spill files deleted by the size/count-bounded
+	// garbage collection of the spill directory.
+	SpillEvictions uint64
 }
 
 // HitRate returns the fraction of lookups answered without executing:
@@ -139,6 +145,14 @@ type ResultCache struct {
 	inflight map[string]*resultFlight
 	dir      string // spill directory; empty = memory only
 
+	// Spill-directory bounds (0 = unlimited). spillMu serializes the
+	// scan-and-evict garbage collection; spillEvictions counts deleted
+	// files and is atomic so GC never contends with Stats on c.mu.
+	spillMaxBytes  int64
+	spillMaxFiles  int
+	spillMu        sync.Mutex
+	spillEvictions atomic.Uint64
+
 	hits      uint64
 	spillHits uint64
 	misses    uint64
@@ -163,6 +177,18 @@ func NewResultCache(capacity int, dir string) *ResultCache {
 		inflight: make(map[string]*resultFlight),
 		dir:      dir,
 	}
+}
+
+// SetSpillLimits bounds the spill directory to maxBytes of result files
+// and maxFiles entries (0 = unlimited for either). After every spill write
+// the cache deletes oldest-modified result files until both bounds hold
+// again, so the directory tracks the warm working set instead of growing
+// without bound across restarts.
+func (c *ResultCache) SetSpillLimits(maxBytes int64, maxFiles int) {
+	c.spillMu.Lock()
+	c.spillMaxBytes = maxBytes
+	c.spillMaxFiles = maxFiles
+	c.spillMu.Unlock()
 }
 
 // Do returns the cached result for key, filling it at most once across
@@ -260,13 +286,14 @@ func (c *ResultCache) Stats() ResultCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ResultCacheStats{
-		Entries:   c.order.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		SpillHits: c.spillHits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evictions: c.evictions,
+		Entries:        c.order.Len(),
+		Capacity:       c.capacity,
+		Hits:           c.hits,
+		SpillHits:      c.spillHits,
+		Misses:         c.misses,
+		Coalesced:      c.coalesced,
+		Evictions:      c.evictions,
+		SpillEvictions: c.spillEvictions.Load(),
 	}
 }
 
@@ -312,6 +339,68 @@ func (c *ResultCache) storeSpill(res *CachedResult) {
 	}
 	if err := os.Rename(tmp.Name(), c.spillPath(res.Key)); err != nil {
 		os.Remove(tmp.Name())
+		return
+	}
+	c.gcSpill()
+}
+
+// spillSuffix names result files in the spill directory; GC only ever
+// touches files with this suffix, so an operator pointing the cache at a
+// shared directory cannot lose unrelated files.
+const spillSuffix = ".result.json"
+
+// gcSpill enforces the spill-directory bounds: while the directory holds
+// more than spillMaxFiles result files or more than spillMaxBytes of them,
+// delete the oldest-modified first. Best-effort like the rest of the spill
+// tier — races with concurrent loads just make a future load miss.
+func (c *ResultCache) gcSpill() {
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	maxBytes, maxFiles := c.spillMaxBytes, c.spillMaxFiles
+	if maxBytes <= 0 && maxFiles <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type spillFile struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []spillFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), spillSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, spillFile{
+			path:  filepath.Join(c.dir, e.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+		total += info.Size()
+	}
+	over := func() bool {
+		return (maxFiles > 0 && len(files) > maxFiles) ||
+			(maxBytes > 0 && total > maxBytes)
+	}
+	if !over() {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for len(files) > 0 && over() {
+		f := files[0]
+		files = files[1:]
+		total -= f.size
+		if os.Remove(f.path) == nil {
+			c.spillEvictions.Add(1)
+		}
 	}
 }
 

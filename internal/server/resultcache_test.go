@@ -305,3 +305,92 @@ func TestResultKeyDistinguishesBudgetAndCheckVariants(t *testing.T) {
 		t.Fatalf("ResultKey collapsed variants: %v", keys)
 	}
 }
+
+func TestResultCacheSpillGCBoundsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	c := NewResultCache(64, dir)
+	c.SetSpillLimits(0, 3) // file-count bound only
+	ctx := context.Background()
+
+	countSpills := func() int {
+		t.Helper()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ents {
+			if filepath.Ext(e.Name()) == ".json" {
+				n++
+			}
+		}
+		return n
+	}
+
+	for i := 0; i < 8; i++ {
+		key := string(rune('a' + i))
+		if _, _, err := c.Do(ctx, key, fillWith("body-"+key)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes make the oldest-first order deterministic on
+		// coarse-resolution filesystems.
+		os.Chtimes(c.spillPath(key), time.Time{}, time.Unix(1700000000+int64(i), 0))
+	}
+	if n := countSpills(); n > 3 {
+		t.Fatalf("spill dir holds %d result files, want <= 3", n)
+	}
+	st := c.Stats()
+	if st.SpillEvictions < 5 {
+		t.Fatalf("spill evictions = %d, want >= 5 (stats %+v)", st.SpillEvictions, st)
+	}
+
+	// The oldest keys' files are gone; the newest survive and still load
+	// from disk in a fresh instance.
+	c2 := NewResultCache(64, dir)
+	if _, outcome, _ := c2.Do(ctx, "h", fillWith("WRONG")); outcome != ResultSpillHit {
+		t.Fatalf("newest entry should revive from spill, got %v", outcome)
+	}
+	c3 := NewResultCache(64, dir)
+	if _, outcome, _ := c3.Do(ctx, "a", fillWith("refilled-a")); outcome != ResultMiss {
+		t.Fatalf("oldest entry should have been evicted from spill, got %v", outcome)
+	}
+}
+
+func TestResultCacheSpillGCByteBound(t *testing.T) {
+	dir := t.TempDir()
+	c := NewResultCache(64, dir)
+	ctx := context.Background()
+
+	// Establish one file's size, then bound the directory to roughly three.
+	if _, _, err := c.Do(ctx, "k0", fillWith("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.spillPath("k0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSpillLimits(3*info.Size()+info.Size()/2, 0)
+
+	for i := 1; i < 8; i++ {
+		key := "k" + string(rune('0'+i))
+		if _, _, err := c.Do(ctx, key, fillWith("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		if fi, err := e.Info(); err == nil {
+			total += fi.Size()
+		}
+	}
+	if total > 3*info.Size()+info.Size()/2 {
+		t.Fatalf("spill dir holds %d bytes, want <= %d", total, 3*info.Size()+info.Size()/2)
+	}
+	if st := c.Stats(); st.SpillEvictions == 0 {
+		t.Fatalf("no spill evictions recorded: %+v", st)
+	}
+}

@@ -38,7 +38,7 @@ import (
 // Config tunes the daemon; zero values select the documented defaults.
 type Config struct {
 	// CacheEntries bounds the compiled-program LRU (default 64 — the full
-	// suite in all three dispatch modes, with room for ablation configs).
+	// suite in three dispatch modes, with room for ablation configs).
 	CacheEntries int
 	// ResultCacheEntries bounds the result-cache LRU of marshaled response
 	// bytes (default 512; negative disables result caching). Simulation is
@@ -48,6 +48,12 @@ type Config struct {
 	// tier: cached responses are also written there and survive daemon
 	// restarts. Ignored when result caching is disabled.
 	ResultCacheDir string
+	// ResultCacheSpillMaxBytes and ResultCacheSpillMaxFiles bound the spill
+	// directory (0 = unlimited): after each spill write, oldest-modified
+	// result files are deleted until both bounds hold. Ignored without
+	// ResultCacheDir.
+	ResultCacheSpillMaxBytes int64
+	ResultCacheSpillMaxFiles int
 	// Workers bounds concurrently executing simulations (default
 	// GOMAXPROCS).
 	Workers int
@@ -116,6 +122,7 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ResultCacheEntries > 0 {
 		s.results = NewResultCache(cfg.ResultCacheEntries, cfg.ResultCacheDir)
+		s.results.SetSpillLimits(cfg.ResultCacheSpillMaxBytes, cfg.ResultCacheSpillMaxFiles)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)

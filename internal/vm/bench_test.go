@@ -69,6 +69,14 @@ func BenchmarkStep(b *testing.B) {
 		code := Compile(prog)
 		run(b, func() *CPU { return NewWithCode(code) })
 	})
+	b.Run("trace", func(b *testing.B) {
+		code := Compile(prog)
+		run(b, func() *CPU {
+			c := NewWithCode(code)
+			c.Traces = true
+			return c
+		})
+	})
 }
 
 // BenchmarkBlockStep measures the block-dispatch loop alone (no observer:
@@ -80,6 +88,24 @@ func BenchmarkBlockStep(b *testing.B) {
 	n := int64(0)
 	for i := 0; i < b.N; i++ {
 		c := NewWithCode(code)
+		if err := c.Run(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+		n += c.Executed()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/instr")
+}
+
+// BenchmarkTraceStep measures the trace-dispatch loop alone (no observer:
+// superblocks with registers cached in locals). scripts/check.sh runs it
+// for one iteration as a smoke test.
+func BenchmarkTraceStep(b *testing.B) {
+	prog := benchProg()
+	code := Compile(prog)
+	n := int64(0)
+	for i := 0; i < b.N; i++ {
+		c := NewWithCode(code)
+		c.Traces = true
 		if err := c.Run(1 << 20); err != nil {
 			b.Fatal(err)
 		}

@@ -2,9 +2,10 @@ package vm_test
 
 // Differential tests for the interpreter inner loops: every program in the
 // benchmark suite runs through the generic decode-per-step loop, the
-// predecoded threaded-dispatch loop, and the block-dispatch loop, with the
-// full timing pipeline attached (bound Pentium model, profile collector,
-// cache hierarchy). All paths must agree on every architecturally visible
+// predecoded threaded-dispatch loop, the block-dispatch loop and the
+// trace-dispatch loop, with the full timing pipeline attached (bound
+// Pentium model, profile collector, cache hierarchy). All paths must agree
+// on every architecturally visible
 // outcome: registers, the entire memory image, and the profiling report
 // (cycles, pairing, class attribution, cache statistics). The two per-event
 // paths additionally compare a hash over the complete retired-event stream;
@@ -88,6 +89,9 @@ func runPath(t *testing.T, prog *asm.Program, mode string) *runOutcome {
 		cpu.Obs = hasher
 	case "block":
 		cpu.Obs = col
+	case "trace":
+		cpu.Obs = col
+		cpu.Traces = true
 	default:
 		t.Fatalf("unknown mode %q", mode)
 	}
@@ -150,8 +154,8 @@ func compareOutcomes(t *testing.T, aName string, a *runOutcome, bName string, b 
 	}
 }
 
-// TestDispatchModesAgree is the three-way differential over the whole
-// benchmark suite: generic, predecoded and block dispatch must be
+// TestDispatchModesAgree is the four-way differential over the whole
+// benchmark suite: generic, predecoded, block and trace dispatch must be
 // observationally identical.
 func TestDispatchModesAgree(t *testing.T) {
 	if testing.Short() {
@@ -168,9 +172,11 @@ func TestDispatchModesAgree(t *testing.T) {
 			gen := runPath(t, prog, "generic")
 			pre := runPath(t, prog, "predecode")
 			blk := runPath(t, prog, "block")
+			trc := runPath(t, prog, "trace")
 
 			compareOutcomes(t, "generic", gen, "predecoded", pre)
 			compareOutcomes(t, "predecoded", pre, "block", blk)
+			compareOutcomes(t, "block", blk, "trace", trc)
 		})
 	}
 }

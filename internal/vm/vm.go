@@ -66,6 +66,18 @@ type CPU struct {
 	// retirement. Differential tests pin all three paths against each
 	// other.
 	NoBlocks bool
+	// Traces enables the trace dispatcher (see trace.go): block dispatch
+	// plus runtime hot-chain detection, superblock fusion across taken
+	// branches and register caching inside the fused bodies. Requires an
+	// observer implementing TraceObserver (or none).
+	Traces bool
+	// TraceThreshold overrides the chain-head hotness threshold; 0 selects
+	// the default.
+	TraceThreshold int
+
+	// ts is the per-run trace state (heat counters, recorder, superblock
+	// table), built lazily on the first trace-dispatched Run.
+	ts *traceState
 
 	gpr [8]uint32
 	mm  [8]mmx.Reg
@@ -186,6 +198,14 @@ func (c *CPU) Run(maxInstrs int64) error {
 		c.code = Compile(c.Prog)
 	}
 	if !c.NoBlocks {
+		if c.Traces {
+			if tobs, ok := c.Obs.(TraceObserver); ok {
+				return c.runTrace(maxInstrs, tobs)
+			}
+			if c.Obs == nil {
+				return c.runTrace(maxInstrs, nil)
+			}
+		}
 		if bobs, ok := c.Obs.(BlockObserver); ok {
 			return c.runBlocks(maxInstrs, bobs)
 		}

@@ -5,6 +5,12 @@
 #
 #   scripts/bench.sh                 # writes BENCH_interp.json at the repo root
 #   scripts/bench.sh out.json        # writes to a custom path
+#   DISPATCH=block scripts/bench.sh  # measure a specific dispatch mode
+#   DISPATCH=all scripts/bench.sh    # sweep generic/predecode/block/trace,
+#                                    # writing out.<mode>.json per mode
+#   JOBS=0 scripts/bench.sh          # parallel runs (default 1: serial walls
+#                                    # are stable; parallel walls measure
+#                                    # scheduler contention, not the loop)
 #
 # Output validation is skipped: the run measures interpreter speed, and the
 # correctness gate is scripts/check.sh.
@@ -22,11 +28,30 @@ go build -o "$bin" ./cmd/mmxbench
 # and the dispatch mode, so two BENCH_interp.json files are comparable by
 # scripts/bench_diff.sh without guessing their provenance.
 commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
-dispatch="${DISPATCH:-auto}"
+dispatch="${DISPATCH:-trace}"
+jobs="${JOBS:-1}"
 
-echo "==> mmxbench -dispatch $dispatch -bench-json $out"
-"$bin" -skip-check -dispatch "$dispatch" -bench-commit "$commit" \
-    -bench-json "$out" -table2 >/dev/null
+run_one() {
+    local mode="$1" dest="$2"
+    echo "==> mmxbench -dispatch $mode -j $jobs -bench-json $dest"
+    "$bin" -skip-check -dispatch "$mode" -j "$jobs" -bench-commit "$commit" \
+        -bench-json "$dest" -table2 >/dev/null
+    echo "==> $dest"
+    grep -E '"(geomean|aggregate)_instrs_per_sec"|"suite_wall_seconds"' "$dest"
+}
 
-echo "==> $out"
-grep -E '"(geomean|aggregate)_instrs_per_sec"|"suite_wall_seconds"' "$out"
+if [[ "$dispatch" == "all" ]]; then
+    # Sweep every interpreter inner loop; per-mode artifacts land next to
+    # the requested output path as out.<mode>.json.
+    for mode in generic predecode block trace; do
+        run_one "$mode" "${out%.json}.$mode.json"
+    done
+    echo
+    echo "per-mode geomean (M instr/s):"
+    for mode in generic predecode block trace; do
+        g="$(jq -r '.geomean_instrs_per_sec' "${out%.json}.$mode.json")"
+        printf '  %-10s %8.1f\n' "$mode" "$(jq -n "$g/1e6")"
+    done
+else
+    run_one "$dispatch" "$out"
+fi

@@ -5,14 +5,37 @@
 #
 #   scripts/bench_diff.sh BASELINE.json NEW.json
 #
+# With three or more artifacts (e.g. the per-mode files a DISPATCH=all
+# bench.sh sweep writes), it instead prints a per-mode geomean table with
+# each file's speedup over the first — no gate:
+#
+#   scripts/bench_diff.sh BENCH.generic.json BENCH.predecode.json \
+#       BENCH.block.json BENCH.trace.json
+#
 # Wall-clock numbers are host-dependent; compare artifacts measured on the
 # same machine (the git_commit/dispatch/utc_date stamps say where each came
 # from).
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-    echo "usage: $0 BASELINE.json NEW.json" >&2
+if [[ $# -lt 2 ]]; then
+    echo "usage: $0 BASELINE.json NEW.json [MORE.json ...]" >&2
     exit 2
+fi
+
+if [[ $# -gt 2 ]]; then
+    for f in "$@"; do
+        [[ -r "$f" ]] || { echo "bench_diff: cannot read $f" >&2; exit 2; }
+    done
+    ref_g="$(jq -r '.geomean_instrs_per_sec' "$1")"
+    printf '%-12s %-10s %12s %10s   %s\n' dispatch commit 'geomean M/s' speedup file
+    for f in "$@"; do
+        mode="$(jq -r '.dispatch // "?"' "$f")"
+        commit="$(jq -r '.git_commit // "?"' "$f")"
+        g="$(jq -r '.geomean_instrs_per_sec' "$f")"
+        printf '%-12s %-10s %12.1f %9.2fx   %s\n' \
+            "$mode" "$commit" "$(jq -n "$g/1e6")" "$(jq -n "$g/$ref_g")" "$f"
+    done
+    exit 0
 fi
 base="$1" new="$2"
 for f in "$base" "$new"; do

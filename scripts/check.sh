@@ -28,7 +28,7 @@ go test "$@" ./...
 echo "==> go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/..."
 go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/...
 
-# The service end-to-end suite: all 19 programs x 3 dispatch modes over
+# The service end-to-end suite: all 19 programs x 4 dispatch modes over
 # HTTP byte-equivalent to direct runs, the result cache replaying the same
 # sweep byte-identically, the daemon SIGTERM drain, and the spill tier
 # surviving a real restart.
@@ -53,16 +53,17 @@ go test -run '^$' -fuzz FuzzParseSuiteRequest -fuzztime 5s ./internal/cluster >/
 echo "==> go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium"
 go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium >/dev/null
 
-# The three-way dispatch equivalence (generic / predecoded / block) also
-# runs under the race detector: block dispatch shares predecoded code and
-# per-block caches with the parallel suite runner above.
+# The four-way dispatch equivalence (generic / predecoded / block / trace)
+# also runs under the race detector: block and trace dispatch share
+# predecoded code and per-block caches with the parallel suite runner
+# above, and trace dispatch additionally shares the per-CPU trace cache.
 echo "==> go test -race -run 'TestDispatchModesAgree|TestDispatchThreeWay' ./internal/vm ./internal/pentium"
 go test -race -run 'TestDispatchModesAgree|TestDispatchThreeWay' ./internal/vm ./internal/pentium
 
-# Smoke-run the block-dispatch benchmark for a single iteration so inner-
-# loop regressions that only bite under benchmarking surface here.
-echo "==> go test -run '^$' -bench BenchmarkBlockStep -benchtime 1x ./internal/vm"
-go test -run '^$' -bench BenchmarkBlockStep -benchtime 1x ./internal/vm >/dev/null
+# Smoke-run the block- and trace-dispatch benchmarks for a single iteration
+# so inner-loop regressions that only bite under benchmarking surface here.
+echo "==> go test -run '^$' -bench 'BenchmarkBlockStep|BenchmarkTraceStep' -benchtime 1x ./internal/vm"
+go test -run '^$' -bench 'BenchmarkBlockStep|BenchmarkTraceStep' -benchtime 1x ./internal/vm >/dev/null
 
 # Optional: refresh the interpreter-throughput artifact. Wall-clock numbers
 # are host-dependent, so this never gates the build.
