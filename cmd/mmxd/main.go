@@ -11,6 +11,7 @@
 //	mmxd -result-cache 1024     # bigger result cache (0 disables)
 //	mmxd -result-cache-dir /var/cache/mmxd   # results survive restarts
 //	mmxd -result-cache-max-bytes 64000000    # bound the spill directory
+//	mmxd -warm-suite auto,trace # prefetch the suite table before serving
 //
 // Endpoints: POST /run, GET /table, GET /healthz, GET /metrics. See
 // internal/server for the request and response schemas, and the README's
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +47,7 @@ func main() {
 		resBytes  = flag.Int64("result-cache-max-bytes", 256<<20, "spill-directory size bound; oldest results evicted beyond it (0 = unlimited)")
 		resFiles  = flag.Int("result-cache-max-files", 8192, "spill-directory file-count bound (0 = unlimited)")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
+		warmSuite = flag.String("warm-suite", "", "prefetch the whole-suite table for these dispatch modes (comma-separated, e.g. auto,trace) before serving")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -71,6 +74,21 @@ func main() {
 		ResultCacheSpillMaxFiles: *resFiles,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *warmSuite != "" {
+		var modes []string
+		for _, m := range strings.Split(*warmSuite, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				modes = append(modes, m)
+			}
+		}
+		start := time.Now()
+		log.Printf("mmxd: warming suite table for %v", modes)
+		if err := srv.WarmSuite(context.Background(), modes); err != nil {
+			log.Fatalf("mmxd: -warm-suite: %v", err)
+		}
+		log.Printf("mmxd: suite warm in %.1fs", time.Since(start).Seconds())
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -1,4 +1,4 @@
-// End-to-end tests for the mmxd service: the full 19-program suite in all
+// End-to-end tests for the mmxd service: the full 21-program suite in all
 // four dispatch modes served over HTTP must be byte-equivalent to direct
 // core.Run reports, and the real daemon binary must drain gracefully on
 // SIGTERM.
@@ -30,7 +30,7 @@ import (
 // report byte-equivalent to a direct core.Run with the same options.
 func TestServedReportsMatchDirectRuns(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 19x4 sweep (served and direct); skipped in -short mode")
+		t.Skip("full 21x4 sweep (served and direct); skipped in -short mode")
 	}
 	srv := server.New(server.Config{})
 	ts := httptest.NewServer(srv.Handler())
@@ -236,7 +236,7 @@ func TestDaemonSIGTERMDrain(t *testing.T) {
 // not re-execute the simulation.
 func TestResultCacheServesIdenticalBytes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 19x4 sweep served twice; skipped in -short mode")
+		t.Skip("full 21x4 sweep served twice; skipped in -short mode")
 	}
 	srv := server.New(server.Config{}) // result cache on by default
 	ts := httptest.NewServer(srv.Handler())

@@ -157,6 +157,14 @@ type TraceStats struct {
 	// TraceInstrs/Executed is the trace-resident share.
 	TraceInstrs uint64
 	Executed    uint64
+	// TreeNodes counts child paths attached across all trace trees, and
+	// Deopts the traces retired by the side-exit governor.
+	TreeNodes int
+	Deopts    uint64
+	// TreeIters counts iterations that completed via a child path;
+	// TreeInstrs the instructions those whole iterations retired.
+	TreeIters  uint64
+	TreeInstrs uint64
 }
 
 // SideExitPct returns side exits as a percentage of trace entries.
@@ -175,6 +183,16 @@ func (s TraceStats) ResidentPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.TraceInstrs) / float64(s.Executed)
+}
+
+// TreeResidentPct returns the percentage of all retired instructions that
+// retired in iterations completing via a trace-tree child path (zero until
+// a tree forms and its alternate paths get hot).
+func (s TraceStats) TreeResidentPct() float64 {
+	if s.Executed == 0 {
+		return 0
+	}
+	return 100 * float64(s.TreeInstrs) / float64(s.Executed)
 }
 
 // InstrsPerSec returns the host simulation throughput in retired
@@ -286,6 +304,8 @@ func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
 	traces := TraceStats{
 		Formed: vts.Formed, Iters: vts.Iters, Exits: vts.Exits,
 		TraceInstrs: vts.TraceInstrs, Executed: uint64(cpu.Executed()),
+		TreeNodes: vts.TreeNodes, Deopts: vts.Deopts,
+		TreeIters: vts.TreeIters, TreeInstrs: vts.TreeInstrs,
 	}
 	return &Result{Benchmark: b, Report: rep, Wall: wall, Blocks: blocks, Traces: traces}, nil
 }

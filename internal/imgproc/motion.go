@@ -1,0 +1,45 @@
+package imgproc
+
+// Motion estimation, the other image workload MMX was designed around:
+// block matching by sum of absolute differences (SAD). MMX has no
+// single-instruction SAD (psadbw arrived with SSE); the MMX idiom composes
+// it from two saturating unsigned subtractions and an OR — |a-b| =
+// (a -us b) | (b -us a) — followed by unpack-and-accumulate. The reference
+// implementations here mirror the benchmark programs' arithmetic exactly.
+
+// SAD16 returns the sum of absolute differences between the 16×16 block at
+// a[0] with row stride aw and the 16×16 block at b[0] with row stride bw.
+func SAD16(a []uint8, aw int, b []uint8, bw int) int {
+	sum := 0
+	for y := 0; y < 16; y++ {
+		ar := a[y*aw : y*aw+16]
+		br := b[y*bw : y*bw+16]
+		for x := 0; x < 16; x++ {
+			d := int(ar[x]) - int(br[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// MotionSearch full-searches displacements in [-r, r]² for the candidate
+// 16×16 block of prev (row stride pw) best matching blk (row stride bw).
+// orig is the index of the zero-displacement candidate's top-left corner in
+// prev. Candidates are scanned dy-major, dx-minor, and only a strictly
+// smaller SAD displaces the incumbent — the same order and tie-break as the
+// benchmark programs, so results compare exactly.
+func MotionSearch(prev []uint8, pw, orig int, blk []uint8, bw, r int) (dx, dy, sad int) {
+	best := int(^uint(0) >> 1)
+	for cy := -r; cy <= r; cy++ {
+		for cx := -r; cx <= r; cx++ {
+			s := SAD16(prev[orig+cy*pw+cx:], pw, blk, bw)
+			if s < best {
+				best, dx, dy = s, cx, cy
+			}
+		}
+	}
+	return dx, dy, best
+}

@@ -3,7 +3,10 @@
 // versions, with the exact workloads of Table 1: a 4096-point in-place
 // FFT, a 35-tap low-pass FIR fed one sample at a time, an eighth-order
 // Butterworth bandpass IIR processing blocks of eight samples, and a
-// 512x512 matrix-vector multiply plus a length-512 dot product.
+// 512x512 matrix-vector multiply plus a length-512 dot product. A fifth
+// kernel, sad, extends the suite with the motion-estimation workload MMX's
+// saturating byte arithmetic targets: full-search 16×16 block matching by
+// sum of absolute differences.
 //
 // Every program brackets its computation core with profon/profoff and is
 // validated against the pure-Go reference implementations in internal/dsp.
@@ -23,6 +26,7 @@ func Benchmarks() []core.Benchmark {
 	out = append(out, FIR()...)
 	out = append(out, IIR()...)
 	out = append(out, FFT()...)
+	out = append(out, SAD()...)
 	return out
 }
 
@@ -33,6 +37,7 @@ var programNames = []string{
 	"fir.c", "fir.fp", "fir.mmx",
 	"iir.c", "iir.fp", "iir.mmx",
 	"matvec.c", "matvec.mmx",
+	"sad.c", "sad.mmx",
 }
 
 // expectInt16s compares an int16 output region against a reference slice.

@@ -15,12 +15,13 @@ type Cache struct {
 	tags  []uint32
 	valid []bool
 	lru   []uint8
-	// mru[set] is the most-recently-used way of each set, checked first on
-	// Access. Sequential code re-references the same line heavily, so this
-	// single probe resolves most hits without the associative scan; hitting
-	// the MRU way leaves the LRU ordering unchanged, so the fast path is
-	// state-identical to the full search.
-	mru []uint16
+	// mruLine[set] is the line tag (+1, so 0 means empty) of each set's
+	// most-recently-used way, checked first on Access. Sequential code
+	// re-references the same line heavily, so this single compare resolves
+	// most hits without the associative scan; hitting the MRU way leaves
+	// the LRU ordering unchanged, so the fast path is state-identical to
+	// the full search. Hierarchy.Access probes it directly for the L1.
+	mruLine []uint32
 }
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
@@ -48,11 +49,11 @@ func NewCache(sizeBytes, ways, lineBytes int) *Cache {
 			sizeBytes, ways, lineBytes))
 	}
 	c := &Cache{
-		ways:  ways,
-		tags:  make([]uint32, sets*ways),
-		valid: make([]bool, sets*ways),
-		lru:   make([]uint8, sets*ways),
-		mru:   make([]uint16, sets),
+		ways:    ways,
+		tags:    make([]uint32, sets*ways),
+		valid:   make([]bool, sets*ways),
+		lru:     make([]uint8, sets*ways),
+		mruLine: make([]uint32, sets),
 	}
 	for lineBytes > 1 {
 		lineBytes >>= 1
@@ -67,18 +68,23 @@ func NewCache(sizeBytes, ways, lineBytes int) *Cache {
 func (c *Cache) Access(addr uint32) bool {
 	line := addr >> c.lineShift
 	set := line & c.setMask
-	base := int(set) * c.ways
-	// Fast path: probe the most-recently-used way first. Touching the MRU
+	// Fast path: the most-recently-used line of the set. Touching the MRU
 	// way is a no-op on the LRU ages, so nothing else needs updating.
-	if m := base + int(c.mru[set]); c.valid[m] && c.tags[m] == line {
+	if c.mruLine[set] == line+1 {
 		return true
 	}
+	return c.accessSlow(line, set)
+}
+
+// accessSlow is the associative search and fill behind the MRU probe.
+func (c *Cache) accessSlow(line, set uint32) bool {
+	base := int(set) * c.ways
 	// Search for a hit.
 	for w := 0; w < c.ways; w++ {
 		i := base + w
 		if c.valid[i] && c.tags[i] == line {
 			c.touch(base, w)
-			c.mru[set] = uint16(w)
+			c.mruLine[set] = line + 1
 			return true
 		}
 	}
@@ -106,7 +112,7 @@ func (c *Cache) Access(addr uint32) bool {
 		}
 	}
 	c.lru[i] = 0
-	c.mru[set] = uint16(victim)
+	c.mruLine[set] = line + 1
 	return false
 }
 
@@ -126,8 +132,8 @@ func (c *Cache) Reset() {
 		c.valid[i] = false
 		c.lru[i] = 0
 	}
-	for i := range c.mru {
-		c.mru[i] = 0
+	for i := range c.mruLine {
+		c.mruLine[i] = 0
 	}
 }
 
@@ -171,13 +177,26 @@ func NewHierarchy() *Hierarchy {
 }
 
 // Access models one data reference to addr and returns the extra cycles to
-// charge beyond the instruction's base latency.
+// charge beyond the instruction's base latency. The L1 MRU-line probe is
+// open-coded here so the overwhelmingly common hit resolves with a single
+// compare and no further call.
 func (h *Hierarchy) Access(addr uint32) int {
 	if h == nil {
 		return 0
 	}
 	h.Stats.Accesses++
-	if h.L1.Access(addr) {
+	l1 := h.L1
+	line := addr >> l1.lineShift
+	set := line & l1.setMask
+	if l1.mruLine[set] == line+1 {
+		return 0
+	}
+	return h.hierSlow(addr, line, set)
+}
+
+// hierSlow finishes an access that missed the L1 MRU probe.
+func (h *Hierarchy) hierSlow(addr, line, set uint32) int {
+	if h.L1.accessSlow(line, set) {
 		return 0
 	}
 	h.Stats.L1Misses++

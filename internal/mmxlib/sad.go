@@ -1,0 +1,51 @@
+package mmxlib
+
+import (
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/emit"
+	"mmxdsp/internal/isa"
+)
+
+// EmitSAD16 emits nsSAD16(a, aStride, b, bStride): the sum of absolute
+// differences between two 16×16 pixel blocks, returned in EAX. MMX has no
+// psadbw, so each quadword pair uses the classic composition
+// |a-b| = (a -us b) | (b -us a), unpacks the byte differences against zero
+// and accumulates into word lanes. Each lane absorbs at most 64 differences
+// of 255 (16320), well inside 16 bits, and the lanes fold to a scalar with
+// pmaddwd-by-ones plus a horizontal dword add.
+func EmitSAD16(b *asm.Builder) {
+	const name = "nsSAD16"
+	b.Proc(name)
+	emit.LoadArg(b, isa.ESI, 0)                   // a
+	emit.LoadArg(b, isa.EBX, 1)                   // aStride
+	emit.LoadArg(b, isa.EDI, 2)                   // b
+	emit.LoadArg(b, isa.EDX, 3)                   // bStride
+	b.I(isa.PXOR, asm.R(isa.MM7), asm.R(isa.MM7)) // zero for unpacking
+	b.I(isa.PXOR, asm.R(isa.MM6), asm.R(isa.MM6)) // word accumulator
+	b.I(isa.MOV, asm.R(isa.EAX), asm.Imm(1))
+	emit.BroadcastW(b, isa.MM5, isa.EAX) // 1,1,1,1 for the pmaddwd fold
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(0))
+	b.Label(name + ".row")
+	for _, off := range []int32{0, 8} {
+		b.I(isa.MOVQ, asm.R(isa.MM0), asm.MemQ(isa.ESI, off))
+		b.I(isa.MOVQ, asm.R(isa.MM1), asm.R(isa.MM0))
+		b.I(isa.MOVQ, asm.R(isa.MM2), asm.MemQ(isa.EDI, off))
+		b.I(isa.PSUBUSB, asm.R(isa.MM0), asm.R(isa.MM2)) // max(a-b, 0)
+		b.I(isa.PSUBUSB, asm.R(isa.MM2), asm.R(isa.MM1)) // max(b-a, 0)
+		b.I(isa.POR, asm.R(isa.MM0), asm.R(isa.MM2))     // |a-b|
+		b.I(isa.MOVQ, asm.R(isa.MM1), asm.R(isa.MM0))
+		b.I(isa.PUNPCKLBW, asm.R(isa.MM0), asm.R(isa.MM7))
+		b.I(isa.PUNPCKHBW, asm.R(isa.MM1), asm.R(isa.MM7))
+		b.I(isa.PADDW, asm.R(isa.MM6), asm.R(isa.MM0))
+		b.I(isa.PADDW, asm.R(isa.MM6), asm.R(isa.MM1))
+	}
+	b.I(isa.ADD, asm.R(isa.ESI), asm.R(isa.EBX))
+	b.I(isa.ADD, asm.R(isa.EDI), asm.R(isa.EDX))
+	b.I(isa.INC, asm.R(isa.ECX))
+	b.I(isa.CMP, asm.R(isa.ECX), asm.Imm(16))
+	b.J(isa.JL, name+".row")
+	b.I(isa.PMADDWD, asm.R(isa.MM6), asm.R(isa.MM5))
+	emit.HSumD(b, isa.MM6, isa.MM0)
+	b.I(isa.MOVD, asm.R(isa.EAX), asm.R(isa.MM6))
+	b.Ret()
+}

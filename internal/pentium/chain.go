@@ -8,14 +8,18 @@
 //   - the lag of each live-in register (read before written anywhere in the
 //     chain);
 //   - the cache penalty charged to each memory reference this iteration;
-//   - the BTB prediction each chain branch would see at entry (the BTB
-//     evolves inside the iteration, but every branch PC occurs once and
-//     same-slot collisions between chain branches are declined at build
-//     time, so entry predictions fully determine the replay).
+//   - the BTB slot state each chain branch sees at entry, encoded as 0 when
+//     the branch does not own its direct-mapped slot and 2+ctr when it does.
+//     The BTB evolves inside the iteration — chains may revisit one branch
+//     PC (unrolled loops) or collide two branches on one slot — but a slot
+//     not owned by any chain branch behaves identically whether it is empty
+//     or foreign-tagged (taken updates retag it, not-taken updates are
+//     no-ops), so the per-branch ownership+counter entries fully determine
+//     every in-iteration prediction.
 //
-// RetireChain resolves a (lags, penalties, predictions) signature by
+// RetireChain resolves a (lags, penalties, slot states) signature by
 // replaying the whole event sequence once through a scratch model with the
-// BTB seeded to reproduce those predictions, memoizes the schedule in a
+// BTB seeded to reproduce those slot states, memoizes the schedule in a
 // per-chain MRU variant table, and thereafter applies it as one aggregate
 // update: clock delta, pair/branch/mispredict counts, scoreboard writes,
 // live BTB updates, exit pairing state. Steady-state loops hit the lastHit
@@ -82,14 +86,23 @@ type ChainTiming struct {
 	// pairRisk mirrors blockTiming.pairRisk for the chain's first event.
 	pairRisk bool
 	// branchPCs/branchTaken list the conditional-branch events in order with
-	// their recorded directions; predictions for these complete the entry
+	// their recorded directions; BTB entries for these complete the entry
 	// signature, and taken directions drive the live BTB updates at apply.
+	// branchFine marks branches whose direct-mapped slot is shared with
+	// another chain branch occurrence (the same PC revisited by an unrolled
+	// chain, or two PCs colliding): those encode the full slot state
+	// (0 unowned, 2+ctr owned) because in-iteration updates re-read the
+	// slot; unshared branches encode just the 1-bit prediction, keeping the
+	// variant space coarse.
 	branchPCs   []int32
 	branchTaken []bool
+	branchFine  []bool
 
 	variants []chainVariant
 	nextVar  int
-	lastHit  int
+	// lastHit is the index of the most recently applied variant, maintained
+	// on every apply path (full, steady, and predecessor-steady).
+	lastHit int
 
 	// Steady state: a loop chain iterating back to back settles into one
 	// variant whose application reproduces its own entry signature — written
@@ -104,19 +117,52 @@ type ChainTiming struct {
 	// disarms the fast path until steady state is re-proven.
 	steady   int // variant index, -1 when not in steady state
 	seqAfter uint64
+
+	// Predecessor-keyed steady state: a trace tree alternates between
+	// sibling paths, so a chain is often re-entered after exactly one
+	// intervening apply — the sibling path's chain. When two consecutive
+	// full-path calls match the same variant with the identical
+	// (predecessor chain, predecessor schedule) gap of exactly one apply,
+	// and every branch of both chains is saturated at its recorded
+	// direction (so neither apply moves the BTB), the entry state is proven
+	// to recur and pred/predCosts/predSteady record the keyed variant.
+	// Subsequent calls that arrive through the same one-apply gap — checked
+	// against Model.lastChain/lastCosts/lastSeq and the schedule's
+	// cost-slice identity — skip signature work exactly like steady.
+	// candPred/candCosts/candHit track the previous call's gap for the
+	// two-consecutive-observations proof.
+	pred       *ChainTiming
+	predCosts  []uint32
+	predSteady int // variant index engaged under the keyed gap, -1 none
+	candPred   *ChainTiming
+	candCosts  []uint32
+	candHit    int
+
+	// Churn governor: a chain whose entry signature keeps flapping past the
+	// variant table recycles a slot (and pays a full scratch replay) every
+	// call, which is slower than the caller's per-block fallback. Every
+	// windowLen recycles, a window that wasn't dominated by variant hits
+	// marks the chain dead and RetireChain declines permanently.
+	hits  uint32
+	churn uint32
+	dead  bool
 }
+
+// chainChurnWindow is the recycle count per governor window; a window must
+// see at least 4 hits per recycle or the chain is retired to the per-block
+// fallback.
+const chainChurnWindow = 64
 
 // NewChain builds the chain timing record for a trace visiting the given
 // blocks (by bound-program block index) with the given terminator record per
 // block. It returns nil — and RetireChain will always decline — when the
-// model is unbound, a block index is out of range, two chain branches
-// collide on a BTB slot (entry predictions would not determine the replay),
-// or the signature would exceed maxChainSig.
+// model is unbound, a block index is out of range, or the signature would
+// exceed maxChainSig.
 func (m *Model) NewChain(blocks []int32, terms []ChainTerm) *ChainTiming {
 	if m.blockT == nil || len(blocks) != len(terms) {
 		return nil
 	}
-	ct := &ChainTiming{steady: -1}
+	ct := &ChainTiming{steady: -1, predSteady: -1}
 	var written, guarded [isa.NumRegs]bool
 	addEvent := func(pc int32, taken bool) {
 		t := &m.pcT[pc]
@@ -151,16 +197,16 @@ func (m *Model) NewChain(blocks []int32, terms []ChainTerm) *ChainTiming {
 			}
 			addEvent(tpc, terms[i].Taken)
 			if m.pcT[tpc].branch {
-				// Two chain branches sharing a direct-mapped BTB slot would
-				// make the second's prediction depend on the first's update;
-				// decline so entry predictions stay a complete signature.
-				for _, prev := range ct.branchPCs {
+				fine := false
+				for j, prev := range ct.branchPCs {
 					if prev&255 == tpc&255 {
-						return nil
+						fine = true
+						ct.branchFine[j] = true
 					}
 				}
 				ct.branchPCs = append(ct.branchPCs, tpc)
 				ct.branchTaken = append(ct.branchTaken, terms[i].Taken)
+				ct.branchFine = append(ct.branchFine, fine)
 			}
 		}
 	}
@@ -175,23 +221,51 @@ func (m *Model) NewChain(blocks []int32, terms []ChainTerm) *ChainTiming {
 
 // replayChain resolves one schedule variant by replaying the full event
 // sequence through a scratch model seeded from the signature: guard lags,
-// per-reference penalties, and a BTB pre-loaded so each chain branch sees
-// its signed prediction (a strongly-taken entry for predicted-taken
-// branches; an empty slot — statically predicted not taken — otherwise).
+// per-reference penalties, and a BTB pre-loaded with each branch's slot
+// state (tag+counter for owned slots; empty otherwise — an empty slot
+// replays identically to a foreign-tagged one for every chain branch, since
+// repeated PCs of one branch share a single owned entry and same-PC decline
+// is no longer needed).
 func (m *Model) replayChain(ct *ChainTiming, sig []uint8, out *chainSched) {
 	if m.sim == nil {
 		m.sim = &Model{}
 	}
 	sim := m.sim
-	*sim = Model{cfg: m.cfg, pcT: m.pcT}
+	// Reset only the state a bound-model Retire reads or writes: zeroing the
+	// whole scratch Model memclears ~2KB (dominated by the BTB arrays) per
+	// replay, but replays only ever probe this chain's branch slots, so
+	// clearing those — stale tags from other slots read as foreign, which
+	// predicts and updates identically to empty — is enough.
+	sim.cfg, sim.pcT = m.cfg, m.pcT
+	sim.now, sim.paired, sim.branches, sim.mispred, sim.seq = 0, 0, 0, 0, 0
+	sim.haveU, sim.uIssue, sim.uT, sim.si = false, 0, nil, 0
+	for i := range sim.readyAt {
+		sim.readyAt[i] = 0
+	}
+	for _, pc := range ct.branchPCs {
+		slot := int(pc) & 255
+		sim.btb.valid[slot] = false
+		sim.btb.tags[slot] = 0
+		sim.btb.ctr[slot] = 0
+	}
 	for i, r := range ct.guards {
 		sim.readyAt[r] = uint64(sig[i])
 	}
 	pen := sig[len(ct.guards) : len(ct.guards)+ct.memN]
-	pred := sig[len(ct.guards)+ct.memN:]
+	slots := sig[len(ct.guards)+ct.memN:]
 	for i, pc := range ct.branchPCs {
-		if pred[i] != 0 {
-			slot := int(pc) & 255
+		st := slots[i]
+		slot := int(pc) & 255
+		switch {
+		case ct.branchFine[i]:
+			if st >= 2 {
+				sim.btb.valid[slot] = true
+				sim.btb.tags[slot] = pc
+				sim.btb.ctr[slot] = st - 2
+			}
+		case st != 0:
+			// Unshared slot: only the prediction bit matters (nothing else
+			// reads the slot this iteration), so seed it strongly taken.
 			sim.btb.valid[slot] = true
 			sim.btb.tags[slot] = pc
 			sim.btb.ctr[slot] = 3
@@ -288,7 +362,7 @@ func (m *Model) applyChainSteady(s *chainSched) {
 // changed nothing, when ct is nil/declined or the entry state matches no
 // cacheable schedule; the caller must then retire per-block/per-event.
 func (m *Model) RetireChain(ct *ChainTiming, penalties []int32) []uint32 {
-	if ct == nil || len(ct.pcs) == 0 {
+	if ct == nil || ct.dead || len(ct.pcs) == 0 {
 		return nil
 	}
 	if m.haveU && ct.pairRisk {
@@ -311,13 +385,40 @@ func (m *Model) RetireChain(ct *ChainTiming, penalties []int32) []uint32 {
 				}
 			}
 			if ok {
+				ct.hits++
 				m.applyChainSteady(&v.s)
 				ct.seqAfter = m.seq
+				m.lastChain, m.lastCosts, m.lastSeq = ct, v.s.costs, m.seq
 				return v.s.costs
 			}
 			// Penalties diverged this iteration: fall through to the full
 			// path, which re-proves or abandons steady state.
 			ct.steady = -1
+		}
+	}
+	// Predecessor-keyed fast path: re-entered after exactly one intervening
+	// apply, and it was the proven predecessor schedule following our own
+	// proven variant. Both chains' branches were saturated at proof time and
+	// neither fast path touches the BTB, so the entry state recurs; only the
+	// penalties need verifying.
+	if ct.predSteady >= 0 && ct.lastHit == ct.predSteady &&
+		m.seq == ct.seqAfter+1 && m.lastSeq == m.seq && m.lastChain == ct.pred &&
+		len(m.lastCosts) > 0 && len(ct.predCosts) > 0 && &m.lastCosts[0] == &ct.predCosts[0] {
+		v := &ct.variants[ct.predSteady]
+		pen := v.sig[len(ct.guards) : len(ct.guards)+ct.memN]
+		ok := true
+		for i, p := range penalties {
+			if uint32(p) > maxSigEntry || uint8(p) != pen[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ct.hits++
+			m.applyChainSteady(&v.s)
+			ct.seqAfter = m.seq
+			m.lastChain, m.lastCosts, m.lastSeq = ct, v.s.costs, m.seq
+			return v.s.costs
 		}
 	}
 	base := m.now
@@ -340,12 +441,16 @@ func (m *Model) RetireChain(ct *ChainTiming, penalties []int32) []uint32 {
 		}
 		sig = append(sig, uint8(p))
 	}
-	for _, pc := range ct.branchPCs {
-		pred := uint8(0)
-		if !m.cfg.DisableBTB && m.btb.predict(int(pc)) {
-			pred = 1
+	for i, pc := range ct.branchPCs {
+		st := uint8(0)
+		if !m.cfg.DisableBTB {
+			if ct.branchFine[i] {
+				st = m.btb.slotState(int(pc))
+			} else if m.btb.predict(int(pc)) {
+				st = 1
+			}
 		}
-		sig = append(sig, pred)
+		sig = append(sig, st)
 	}
 	m.sigBuf = sig
 	if h := ct.lastHit; h < len(ct.variants) && sigEqual(ct.variants[h].sig, sig) {
@@ -366,18 +471,56 @@ func (m *Model) RetireChain(ct *ChainTiming, penalties []int32) []uint32 {
 		ct.steady = -1
 		if steady {
 			ct.steady = h
+		} else if m.seq == ct.seqAfter+1 && m.lastSeq == m.seq &&
+			m.lastChain != nil && m.lastChain != ct && len(m.lastCosts) > 0 {
+			// Exactly one foreign apply since our last: a predecessor-keyed
+			// gap. Prove predSteady on the second consecutive observation of
+			// the same (predecessor, schedule, variant) triple, provided no
+			// branch of either chain can still move the BTB.
+			if ct.candPred == m.lastChain && ct.candHit == h &&
+				len(ct.candCosts) > 0 && &ct.candCosts[0] == &m.lastCosts[0] {
+				sat := true
+				if !m.cfg.DisableBTB {
+					for i, pc := range ct.branchPCs {
+						if !m.btb.saturated(int(pc), ct.branchTaken[i]) {
+							sat = false
+							break
+						}
+					}
+					if sat {
+						p := m.lastChain
+						for i, pc := range p.branchPCs {
+							if !m.btb.saturated(int(pc), p.branchTaken[i]) {
+								sat = false
+								break
+							}
+						}
+					}
+				}
+				if sat {
+					ct.pred, ct.predCosts, ct.predSteady = m.lastChain, m.lastCosts, h
+				}
+			}
+			ct.candPred, ct.candCosts, ct.candHit = m.lastChain, m.lastCosts, h
+		} else {
+			ct.candPred = nil
 		}
+		ct.hits++
 		m.applyChain(ct, &v.s)
 		ct.seqAfter = m.seq
+		m.lastChain, m.lastCosts, m.lastSeq = ct, v.s.costs, m.seq
 		return v.s.costs
 	}
 	ct.steady = -1
+	ct.candPred = nil
 	for vi := range ct.variants {
 		v := &ct.variants[vi]
 		if sigEqual(v.sig, sig) {
+			ct.hits++
 			ct.lastHit = vi
 			m.applyChain(ct, &v.s)
 			ct.seqAfter = m.seq
+			m.lastChain, m.lastCosts, m.lastSeq = ct, v.s.costs, m.seq
 			return v.s.costs
 		}
 	}
@@ -391,13 +534,27 @@ func (m *Model) RetireChain(ct *ChainTiming, penalties []int32) []uint32 {
 		v = &ct.variants[ct.nextVar]
 		ct.nextVar = (ct.nextVar + 1) % maxVariants
 		// Preserve cost-slice identity for batching callers, as in
-		// RetireBlock.
+		// RetireBlock. A recycled slot also invalidates any keyed steady
+		// state or proof candidate pinned to it.
 		v.s.costs = nil
+		if ct.predSteady == ct.lastHit {
+			ct.predSteady = -1
+		}
+		if ct.candHit == ct.lastHit {
+			ct.candPred = nil
+		}
+		if ct.churn++; ct.churn >= chainChurnWindow {
+			if ct.hits < ct.churn*4 {
+				ct.dead = true
+			}
+			ct.churn, ct.hits = 0, 0
+		}
 	}
 	v.sig = append(v.sig[:0], sig...)
 	m.replayChain(ct, v.sig, &v.s)
 	m.applyChain(ct, &v.s)
 	ct.seqAfter = m.seq
+	m.lastChain, m.lastCosts, m.lastSeq = ct, v.s.costs, m.seq
 	return v.s.costs
 }
 

@@ -88,6 +88,14 @@ type Model struct {
 	// applications of the same chain variant.
 	seq uint64
 
+	// lastChain/lastCosts/lastSeq record the most recent chain apply (the
+	// chain, its schedule's identity-bearing cost slice, and seq right
+	// after). Predecessor-keyed steady state (chain.go) uses them to
+	// recognize a re-entry through exactly one known intervening apply.
+	lastChain *ChainTiming
+	lastCosts []uint32
+	lastSeq   uint64
+
 	btb btb
 
 	// pcT is the per-PC timing table installed by Bind; nil models derive
@@ -317,6 +325,17 @@ func (b *btb) reset() {
 func (b *btb) predict(pc int) bool {
 	i := pc & 255
 	return b.valid[i] && b.tags[i] == int32(pc) && b.ctr[i] >= 2
+}
+
+// slotState encodes pc's slot for chain signatures: 0 when pc does not own
+// its direct-mapped slot (invalid or foreign-tagged — indistinguishable to
+// every chain branch, see chain.go), 2+ctr when it does.
+func (b *btb) slotState(pc int) uint8 {
+	i := pc & 255
+	if !b.valid[i] || b.tags[i] != int32(pc) {
+		return 0
+	}
+	return 2 + b.ctr[i]
 }
 
 func (b *btb) update(pc int, taken bool) {

@@ -63,14 +63,32 @@ func buildRandomProgram(seed uint64) (*asm.Program, error) {
 		}
 	}
 
+	// A quarter of the seeds run hot enough (hundreds of inner iterations)
+	// for the trace tier to form superblocks and, with a biased branch in
+	// the body, grow trace-tree child paths.
+	passes, trips := 2+r.Intn(3), 4+r.Intn(12)
+	if r.Intn(4) == 0 {
+		passes, trips = 6+r.Intn(6), 24+r.Intn(41)
+	}
 	b.I(isa.PROFON)
-	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(int64(2+r.Intn(3))))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(int64(passes)))
 	b.Label("pass")
 	b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("data", 0))
-	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(int64(4+r.Intn(12))))
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(int64(trips)))
 	b.Label("loop")
 	for n := 4 + r.Intn(9); n > 0; n-- {
 		emitBody()
+	}
+	// Half the seeds add a counter-keyed biased branch: the rare arm runs
+	// every 2nd/4th/8th iteration, the shape that makes a superblock guard
+	// fail persistently but below the deopt threshold (trace-tree growth).
+	if r.Intn(2) == 0 {
+		mask := int64(1<<(1+r.Intn(3))) - 1
+		b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ECX))
+		b.I(isa.AND, asm.R(isa.EAX), asm.Imm(mask))
+		b.J(isa.JNE, "biasjoin")
+		b.I(isa.ADD, asm.MemD(isa.ESI, int32(4*r.Intn(16))), asm.Imm(int64(r.Intn(100))))
+		b.Label("biasjoin")
 	}
 	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(4))
 	b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(1))
@@ -177,7 +195,10 @@ func TestDispatchThreeWayRandomPrograms(t *testing.T) {
 // FuzzDispatchThreeWay lets `go test -fuzz` explore program shapes beyond
 // the fixed sweep.
 func FuzzDispatchThreeWay(f *testing.F) {
-	for _, seed := range []uint64{1, 7, 42, 12345, 1 << 40} {
+	// 18, 31, 51 and 74 generate hot biased-branch loops that demonstrably
+	// grow trace trees (child paths attached, iterations completing through
+	// them); the rest cover the short cold shapes.
+	for _, seed := range []uint64{1, 7, 42, 12345, 1 << 40, 18, 31, 51, 74} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {

@@ -214,6 +214,7 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest) ([]byte, error
 		return nil, err
 	}
 	s.metrics.recordRun(req.Program, res.Report.DynamicInstructions, res.Wall)
+	s.metrics.recordTraces(res.Traces)
 
 	dispatch := req.Dispatch
 	if dispatch == "" {
@@ -294,6 +295,29 @@ func (s *Server) tableResult(ctx context.Context, req *RunRequest) (*CachedResul
 	})
 }
 
+// WarmSuite renders and caches the whole-suite /table artifact for each
+// given dispatch mode ("auto", "trace", "block", "predecode" or "generic"),
+// so a daemon answers its first table request — and, through the shared
+// compiled-program cache, first per-program runs — warm instead of paying
+// the full sweep in request latency. Intended to run before serving starts;
+// it uses the same admission, caches and metrics as a live request.
+func (s *Server) WarmSuite(ctx context.Context, modes []string) error {
+	for _, mode := range modes {
+		switch mode {
+		case "", "auto", core.DispatchBlock, core.DispatchTrace, core.DispatchPredecode, core.DispatchGeneric:
+		default:
+			return fmt.Errorf("warm suite: unknown dispatch mode %q", mode)
+		}
+		// The request mirrors handleTable's exactly so the cached bytes key
+		// identically to later GET /table traffic.
+		req := &RunRequest{Dispatch: mode, SkipCheck: true}
+		if _, _, err := s.tableResult(ctx, req); err != nil {
+			return fmt.Errorf("warm suite (%s): %w", mode, err)
+		}
+	}
+	return nil
+}
+
 // executeTable renders the Table 2/3 artifacts uncached. A table request
 // occupies one admission slot for its whole suite sweep; the sweep itself
 // fans out on an internal pool so the suite finishes in roughly
@@ -363,6 +387,7 @@ func (s *Server) runSuite(ctx context.Context, req *RunRequest) (core.ResultSet,
 					continue
 				}
 				s.metrics.recordRun(name, res.Report.DynamicInstructions, res.Wall)
+				s.metrics.recordTraces(res.Traces)
 				out <- item{name: name, res: res}
 			}
 		}()

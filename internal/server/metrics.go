@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mmxdsp/internal/core"
 )
 
 // latencyWindowSize bounds the sliding window the wall-time quantiles are
@@ -67,6 +69,15 @@ type metrics struct {
 	instrs expvar.Int // simulated instructions retired across all runs
 	wallNS expvar.Int // host nanoseconds spent inside cpu.Run
 
+	// Trace-dispatch aggregates, summed over every served trace-mode run:
+	// superblocks formed, tree child paths attached, side-exit-governor
+	// deopts, and the iteration/exit split the side-exit rate derives from.
+	tracesFormed expvar.Int
+	treeNodes    expvar.Int
+	traceDeopts  expvar.Int
+	traceIters   expvar.Int
+	traceExits   expvar.Int
+
 	latency latencyWindow
 }
 
@@ -83,6 +94,19 @@ func (m *metrics) recordRun(name string, instrs uint64, wall time.Duration) {
 	m.instrs.Add(int64(instrs))
 	m.wallNS.Add(wall.Nanoseconds())
 	m.latency.add(wall)
+}
+
+// recordTraces folds one run's trace-dispatch stats into the aggregates.
+// Runs on other dispatch tiers contribute nothing (every field is zero).
+func (m *metrics) recordTraces(ts core.TraceStats) {
+	if ts.Formed == 0 && ts.Deopts == 0 {
+		return
+	}
+	m.tracesFormed.Add(int64(ts.Formed))
+	m.treeNodes.Add(int64(ts.TreeNodes))
+	m.traceDeopts.Add(int64(ts.Deopts))
+	m.traceIters.Add(int64(ts.Iters))
+	m.traceExits.Add(int64(ts.Exits))
 }
 
 // instrsPerSec returns the aggregate simulated throughput over all served
@@ -113,17 +137,25 @@ type MetricsSnapshot struct {
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 
 	// Result-cache effectiveness (all zero when result caching is off).
-	ResultEntries   int     `json:"result_cache_entries"`
-	ResultCapacity  int     `json:"result_cache_capacity"`
-	ResultHits      uint64  `json:"result_cache_hits"`
-	ResultSpillHits uint64  `json:"result_cache_spill_hits"`
-	ResultMisses    uint64  `json:"result_cache_misses"`
-	ResultCoalesced uint64  `json:"result_cache_coalesced"`
-	ResultEvictions uint64  `json:"result_cache_evictions"`
+	ResultEntries   int    `json:"result_cache_entries"`
+	ResultCapacity  int    `json:"result_cache_capacity"`
+	ResultHits      uint64 `json:"result_cache_hits"`
+	ResultSpillHits uint64 `json:"result_cache_spill_hits"`
+	ResultMisses    uint64 `json:"result_cache_misses"`
+	ResultCoalesced uint64 `json:"result_cache_coalesced"`
+	ResultEvictions uint64 `json:"result_cache_evictions"`
 	// ResultSpillEvictions counts spill files deleted by the bounded
 	// spill-directory GC.
 	ResultSpillEvictions uint64  `json:"result_cache_spill_evictions"`
 	ResultHitRate        float64 `json:"result_cache_hit_rate"`
+
+	// Trace-dispatch aggregates over all served trace-mode runs (all zero
+	// until one runs): superblocks formed, trace-tree child paths attached,
+	// side-exit-governor deopts, and side exits as a share of trace entries.
+	TracesFormed     int64   `json:"traces_formed"`
+	TreeNodes        int64   `json:"tree_nodes"`
+	TraceDeopts      int64   `json:"trace_deopts"`
+	TraceSideExitPct float64 `json:"trace_side_exit_pct"`
 
 	WallMSP50 float64 `json:"wall_ms_p50"`
 	WallMSP99 float64 `json:"wall_ms_p99"`
@@ -165,6 +197,12 @@ func (s *Server) snapshot() MetricsSnapshot {
 		snap.ResultEvictions = rs.Evictions
 		snap.ResultSpillEvictions = rs.SpillEvictions
 		snap.ResultHitRate = rs.HitRate()
+	}
+	snap.TracesFormed = m.tracesFormed.Value()
+	snap.TreeNodes = m.treeNodes.Value()
+	snap.TraceDeopts = m.traceDeopts.Value()
+	if total := m.traceIters.Value() + m.traceExits.Value(); total > 0 {
+		snap.TraceSideExitPct = 100 * float64(m.traceExits.Value()) / float64(total)
 	}
 	if q := m.latency.quantiles(0.50, 0.99); q != nil {
 		snap.WallMSP50, snap.WallMSP99 = q[0], q[1]

@@ -26,6 +26,18 @@
 // through chain-level timing schedules (pentium.RetireChain) and falls back
 // to exact per-event replay when no schedule applies, so reported results
 // stay byte-identical to the other dispatch modes.
+//
+// Loop traces additionally grow into trace trees: a guard that keeps
+// side-exiting — persistently, but below the deopt threshold (a biased but
+// not fully-taken inner branch) — records the alternate path from its exit
+// target back to the head and attaches it as a child: the guard becomes a
+// fork into a second lowered segment that shares the parent's register-cache
+// locals and ends in its own iteration boundary. Each root-to-rejoin path is
+// registered with the observer under its own id, so tree iterations price
+// through the same chain schedules, keyed by the path taken. Tree growth
+// mirrors the single-trace policy: a per-guard exit-count threshold with
+// exponential backoff on failed formations, a bounded node and op budget,
+// and whole-tree abandonment when the root deoptimizes.
 package vm
 
 import (
@@ -57,6 +69,17 @@ const (
 	// traceDeoptMinEntries is the sample size before the side-exit-rate
 	// deoptimization check applies.
 	traceDeoptMinEntries = 64
+
+	// treeGrowThreshold is how many side exits one uJcc guard must take
+	// (scaled by the guard's failed-formation backoff, like trace heat)
+	// before the alternate path is recorded as a child trace. It sits well
+	// under traceDeoptMinEntries so a biased guard grows its alternate arm
+	// before the side-exit governor can retire the whole trace.
+	treeGrowThreshold = 16
+	// treeMaxNodes bounds one trace's tree: root plus children.
+	treeMaxNodes = 4
+	// treeMaxOps bounds the lowered micro-op total across the whole tree.
+	treeMaxOps = 1024
 )
 
 // byBlock sentinel states for block leaders without a trace.
@@ -106,6 +129,14 @@ type TraceStats struct {
 	Exits uint64
 	// TraceInstrs is how many instructions retired inside trace execution.
 	TraceInstrs uint64
+	// TreeNodes counts child paths attached across all trace trees.
+	TreeNodes int
+	// Deopts counts traces retired by the side-exit governor.
+	Deopts uint64
+	// TreeIters counts iterations that completed via a child path;
+	// TreeInstrs the instructions those whole iterations retired.
+	TreeIters  uint64
+	TreeInstrs uint64
 }
 
 // SideExitPct returns side exits as a percentage of trace entries.
@@ -129,6 +160,10 @@ func (c *CPU) TraceStats() TraceStats {
 		Iters:       ts.iters,
 		Exits:       ts.exits,
 		TraceInstrs: ts.instrs,
+		TreeNodes:   ts.treeNodes,
+		Deopts:      ts.deopts,
+		TreeIters:   ts.treeIters,
+		TreeInstrs:  ts.treeInstrs,
 	}
 }
 
@@ -305,6 +340,15 @@ type uop struct {
 	// completes (from trace entry).
 	blockK int32
 	cum    int64
+	// pathIdx tags control ops (uJcc/uRet/uEnd) with the tree path they
+	// retire against (0 = root). On a uJcc guard, child/childPath point at
+	// an attached alternate-path segment (child 0 = none); until one
+	// attaches, d counts failed child formations (the backoff exponent)
+	// and imm2 counts side exits toward the growth threshold — both
+	// otherwise unused by uJcc.
+	pathIdx   uint16
+	childPath uint16
+	child     int32
 	// fv is the uFConst value; mfn/sfn the MMX binary/shift functions;
 	// exec the wrapped handler of a uCall.
 	fv   float64
@@ -313,20 +357,53 @@ type uop struct {
 	exec execFn
 }
 
-// vmTrace is one lowered superblock.
+// vmTrace is one lowered superblock, possibly grown into a tree: child
+// segments are appended after the root's uEnd and entered through fork
+// guards; each root-to-rejoin path is registered separately.
 type vmTrace struct {
+	// id is the observation id handed to RegisterTrace/Observe*; slot the
+	// trace's index in traceState.traces (what byBlock stores). The two
+	// diverge once child paths consume observation ids.
 	id        int
+	slot      int32
 	head      int32 // entry PC (a block leader)
 	headBlock int32
 	blocks    []int32
 	taken     []bool
 	ops       []uop
+	// paths describes the tree: nil for a plain superblock; once a child
+	// attaches, paths[0] is the root path and each attachment appends the
+	// combined shared-prefix-plus-alternate-arm path.
+	paths []tracePath
 	// nInstrs is the instruction count of one full iteration (bodies,
 	// NOPs and terminators).
 	nInstrs int64
 	loop    bool
-	iters   uint64
-	exits   uint64
+	// exitPC is where a full iteration of a non-loop trace continues
+	// (traceDynExit when the chain ends at a top-level ret); the head for
+	// loop traces. Child arms rejoin or exit at the same point.
+	exitPC int32
+	iters  uint64
+	exits  uint64
+}
+
+// tracePath is one registered root-to-rejoin path through a trace tree: the
+// shared block prefix up to a fork guard (with that guard's direction
+// inverted), then the recorded alternate arm back to the head.
+type tracePath struct {
+	id     int
+	blocks []int32
+	taken  []bool
+	// nInstrs is the full iteration instruction count along this path.
+	nInstrs int64
+}
+
+// pathID resolves a control op's path tag to its observation id.
+func (tr *vmTrace) pathID(idx uint16) int {
+	if idx == 0 {
+		return tr.id
+	}
+	return tr.paths[idx].id
 }
 
 // traceRec is the single active chain recording.
@@ -340,6 +417,16 @@ type traceRec struct {
 	// guard is the statically pushed return address); a top-level ret
 	// ends the chain with a computed exit.
 	depth int32
+	// child marks an alternate-arm recording for an existing trace: parent
+	// is that trace's slot and parentOp the fork guard's op index. The arm
+	// attaches when it reaches childStop (the parent's head for a loop
+	// trace, its exit continuation otherwise) or, when childStop is
+	// traceDynExit (a tail-return parent), at the arm's first top-level
+	// ret; anything else fails the recording with per-guard backoff.
+	child     bool
+	parent    int32
+	parentOp  int32
+	childStop int32
 }
 
 // traceState is the per-run trace machinery hanging off a CPU.
@@ -357,10 +444,16 @@ type traceState struct {
 	// penbuf the reusable penalty accumulator.
 	ev     Event
 	penbuf []int32
+	// nextID allocates dense observation ids across roots and child paths.
+	nextID int
 	// Run statistics (see TraceStats).
-	iters  uint64
-	exits  uint64
-	instrs uint64
+	iters      uint64
+	exits      uint64
+	instrs     uint64
+	treeNodes  int
+	deopts     uint64
+	treeIters  uint64
+	treeInstrs uint64
 }
 
 // traceInit builds (once) the per-run trace state.
@@ -401,6 +494,7 @@ func (ts *traceState) bump(c *CPU, target int) {
 	ts.heat[bi] = h
 	if h >= ts.threshold<<ts.attempts[bi] && !ts.rec.active {
 		ts.rec.active = true
+		ts.rec.child = false
 		ts.rec.head = int32(target)
 		ts.rec.blocks = ts.rec.blocks[:0]
 		ts.rec.taken = ts.rec.taken[:0]
@@ -428,6 +522,10 @@ func (ts *traceState) noteFail(hb int) {
 func (c *CPU) abandonRec(ts *traceState) {
 	rec := &ts.rec
 	if !rec.active {
+		return
+	}
+	if rec.child {
+		c.failChild(ts)
 		return
 	}
 	rec.active = false
@@ -466,11 +564,13 @@ func (c *CPU) finalizeRec(ts *traceState, tobs TraceObserver, loop bool, exitPC 
 		ts.noteFail(hb)
 		return
 	}
-	tr.id = len(ts.traces)
+	tr.slot = int32(len(ts.traces))
+	tr.id = ts.nextID
+	ts.nextID++
 	tr.head = rec.head
 	tr.headBlock = int32(hb)
 	ts.traces = append(ts.traces, tr)
-	ts.byBlock[hb] = int32(tr.id)
+	ts.byBlock[hb] = tr.slot
 	if tobs != nil {
 		tobs.RegisterTrace(tr.id, tr.blocks, tr.taken)
 	}
@@ -488,6 +588,27 @@ func (c *CPU) finalizeRec(ts *traceState, tobs TraceObserver, loop bool, exitPC 
 // revolution and its guards match the trip pattern.
 func (c *CPU) recCheck(ts *traceState, tobs TraceObserver, bi int, b *vmBlock) {
 	rec := &ts.rec
+	if rec.child {
+		// An alternate-arm recording attaches only by reaching the
+		// parent's rejoin point (head for loops, the exit continuation
+		// otherwise); a revisited block, an oversized chain or an
+		// untraceable terminator fails it with per-guard backoff rather
+		// than forming a separate trace.
+		if rec.childStop >= 0 && b.start == rec.childStop && len(rec.blocks) > 0 {
+			c.attachChild(ts, tobs, false)
+			return
+		}
+		for _, pb := range rec.blocks {
+			if int(pb) == bi {
+				c.failChild(ts)
+				return
+			}
+		}
+		if len(rec.blocks) >= traceMaxBlocks || !traceableBlock(c.code, b) {
+			c.failChild(ts)
+		}
+		return
+	}
 	allow := int(ts.attempts[c.code.blockOf[rec.head]])
 	if allow > traceMaxUnroll {
 		allow = traceMaxUnroll
@@ -549,10 +670,13 @@ func (ts *traceState) maybeDeopt(tr *vmTrace) {
 	} else if tr.exits*10 <= entries*6 {
 		return
 	}
-	if ts.byBlock[hb] == int32(tr.id) {
+	if ts.byBlock[hb] == tr.slot {
+		// The whole tree retires with the root; a reformed trace starts
+		// over as a plain superblock and regrows children on demand.
 		ts.byBlock[hb] = traceNone
 		ts.heat[hb] = 0
 		ts.noteFail(hb)
+		ts.deopts++
 	}
 }
 
@@ -683,6 +807,15 @@ func (c *CPU) runTrace(maxInstrs int64, tobs TraceObserver) error {
 				case isa.RET:
 					if ts.rec.depth > 0 {
 						ts.rec.depth--
+					} else if ts.rec.child {
+						if ts.rec.childStop == traceDynExit {
+							// The parent ends at a computed-exit ret; so
+							// does this arm — attach it as a tail path.
+							c.attachChild(ts, tobs, true)
+						}
+						// Otherwise a fork below an inlined call leaves the
+						// arm's call nesting unknowable; the ret lowers as
+						// a continuation guard and recording continues.
 					} else {
 						// Top-level return: the continuation differs per
 						// call site, so close the chain here with a
@@ -768,13 +901,40 @@ func uCallOp(d *decoded, pc int32) uop {
 // lowerTrace lowers a recorded chain into a superblock, or returns nil when
 // the chain cannot be lowered (oversized, or an unexpected terminator).
 func (c *CPU) lowerTrace(blocks []int32, taken []bool, loop bool, exitPC int32) *vmTrace {
-	code := c.code
 	tr := &vmTrace{
 		blocks: append([]int32(nil), blocks...),
 		taken:  append([]bool(nil), taken...),
 		loop:   loop,
+		exitPC: exitPC,
 	}
-	var cum int64
+	dynTail := !loop && exitPC == traceDynExit
+	ops, cum, ok := c.lowerBlocks(nil, blocks, taken, 0, 0, 0, exitPC, dynTail, traceMaxOps)
+	if !ok {
+		return nil
+	}
+	tr.ops = append(ops, uop{
+		kind:   uEnd,
+		expect: loop,
+		tgt:    exitPC,
+		blockK: int32(len(blocks) - 1),
+		cum:    cum,
+	})
+	tr.nInstrs = cum
+	return tr
+}
+
+// lowerBlocks lowers a run of chain blocks, appending micro-ops to ops.
+// baseK/baseCum seat the run at a position within a (possibly longer) path:
+// emitted uJcc/uRet blockK and cum fields are offset by them, and pathIdx
+// tags the control ops with the owning tree path. contPC is where execution
+// continues after the last block (the loop head, or a non-loop trace's
+// recorded successor); dynTail marks a chain ending at a top-level ret
+// (computed exit, no continuation guard). Returns the extended op slice, the
+// cumulative instruction count through the run, and ok=false when the run
+// cannot be lowered (oversized past maxOps, or an unexpected terminator).
+func (c *CPU) lowerBlocks(ops []uop, blocks []int32, taken []bool, baseK int32, baseCum int64, pathIdx uint16, contPC int32, dynTail bool, maxOps int) ([]uop, int64, bool) {
+	code := c.code
+	cum := baseCum
 	for k, bi := range blocks {
 		b := &code.blocks[bi]
 		for pc := b.start; pc < b.bodyEnd; pc++ {
@@ -787,11 +947,11 @@ func (c *CPU) lowerTrace(blocks []int32, taken []bool, loop bool, exitPC int32) 
 				in.Op == isa.RET || in.Op == isa.HALT {
 				// Control flow inside a block body cannot happen; decline
 				// rather than mis-lower if it ever does.
-				return nil
+				return ops, 0, false
 			}
 			u, emit := lowerInst(d, pc)
 			if emit {
-				tr.ops = append(tr.ops, u)
+				ops = append(ops, u)
 			}
 		}
 		cum += b.nInstrs
@@ -804,7 +964,7 @@ func (c *CPU) lowerTrace(blocks []int32, taken []bool, loop bool, exitPC int32) 
 				// Inlined call: push the return address and fall into the
 				// callee, which is the next chain block. No guard — the
 				// target is static.
-				tr.ops = append(tr.ops, uop{
+				ops = append(ops, uop{
 					kind: uCallT,
 					imm2: uint32(b.term + 1),
 					pc:   b.term,
@@ -816,61 +976,197 @@ func (c *CPU) lowerTrace(blocks []int32, taken []bool, loop bool, exitPC int32) 
 				// iteration with a computed exit to wherever the ret pops
 				// (expect set) — the continuation legitimately differs per
 				// call site, so a guard would side-exit constantly.
-				if k == len(blocks)-1 && !loop && exitPC == traceDynExit {
-					tr.ops = append(tr.ops, uop{
-						kind:   uRet,
-						expect: true,
-						pc:     b.term,
-						blockK: int32(k),
-						cum:    cum,
+				if k == len(blocks)-1 && dynTail {
+					ops = append(ops, uop{
+						kind:    uRet,
+						expect:  true,
+						pc:      b.term,
+						blockK:  baseK + int32(k),
+						cum:     cum,
+						pathIdx: pathIdx,
 					})
 					break
 				}
-				next := exitPC
+				next := contPC
 				if k+1 < len(blocks) {
 					next = code.blocks[blocks[k+1]].start
 				}
 				if next < 0 {
-					return nil
+					return ops, 0, false
 				}
-				tr.ops = append(tr.ops, uop{
-					kind:   uRet,
-					imm:    uint32(next),
-					pc:     b.term,
-					blockK: int32(k),
-					cum:    cum,
+				ops = append(ops, uop{
+					kind:    uRet,
+					imm:     uint32(next),
+					pc:      b.term,
+					blockK:  baseK + int32(k),
+					cum:     cum,
+					pathIdx: pathIdx,
 				})
 			default:
 				cc, ok := condCode(in.Op)
 				if !ok {
-					return nil
+					return ops, 0, false
 				}
-				tr.ops = append(tr.ops, uop{
-					kind:   uJcc,
-					alu:    cc,
-					expect: taken[k],
-					pc:     b.term,
-					tgt:    in.Target,
-					blockK: int32(k),
-					cum:    cum,
+				ops = append(ops, uop{
+					kind:    uJcc,
+					alu:     cc,
+					expect:  taken[k],
+					pc:      b.term,
+					tgt:     in.Target,
+					blockK:  baseK + int32(k),
+					cum:     cum,
+					pathIdx: pathIdx,
 				})
 			}
 		} else if b.termKind != termNone {
-			return nil
+			return ops, 0, false
 		}
-		if len(tr.ops) > traceMaxOps {
-			return nil
+		if len(ops) > maxOps {
+			return ops, 0, false
 		}
 	}
-	tr.ops = append(tr.ops, uop{
-		kind:   uEnd,
-		expect: loop,
-		tgt:    exitPC,
-		blockK: int32(len(blocks) - 1),
-		cum:    cum,
-	})
-	tr.nInstrs = cum
-	return tr
+	return ops, cum, true
+}
+
+// guardFail counts a failed child formation at a fork guard: exponential
+// backoff on the growth threshold, mirroring noteFail for trace heads. A
+// guard that exhausts traceMaxAttempts stops trying permanently (its plain
+// side exit stays exact; only the optimization is given up).
+func guardFail(u *uop) {
+	if u.d < traceMaxAttempts {
+		u.d++
+	}
+	u.imm2 = 0
+}
+
+// failChild abandons an active alternate-arm recording with per-guard
+// backoff.
+func (c *CPU) failChild(ts *traceState) {
+	rec := &ts.rec
+	rec.active, rec.child = false, false
+	tr := ts.traces[rec.parent]
+	guardFail(&tr.ops[rec.parentOp])
+}
+
+// attachChild closes an alternate-arm recording that reached its rejoin
+// point (tail marks an arm that ended at a top-level ret instead).
+func (c *CPU) attachChild(ts *traceState, tobs TraceObserver, tail bool) {
+	rec := &ts.rec
+	rec.active, rec.child = false, false
+	c.attachChildSeg(ts, tobs, ts.traces[rec.parent], rec.parentOp, rec.blocks, rec.taken, tail)
+}
+
+// attachChildSeg lowers a recorded alternate arm (possibly empty, when the
+// fork jumps straight to the rejoin point) and attaches it to tr's fork
+// guard as a child path: the lowered segment is appended after the existing
+// ops, ending the iteration the same way the root does — a looping uEnd for
+// a loop trace, a straight exit to the root's continuation, or (tail) a
+// computed-exit ret. The combined path is registered with the observer
+// under a fresh observation id and the guard becomes a fork into the
+// segment. Lowering failure takes formation backoff at the guard instead.
+func (c *CPU) attachChildSeg(ts *traceState, tobs TraceObserver, tr *vmTrace, forkOp int32, blocks []int32, taken []bool, tail bool) {
+	fork := &tr.ops[forkOp]
+	if tr.paths == nil {
+		tr.paths = append(tr.paths, tracePath{
+			id: tr.id, blocks: tr.blocks, taken: tr.taken, nInstrs: tr.nInstrs,
+		})
+	}
+	parent := &tr.paths[fork.pathIdx]
+	k := int(fork.blockK)
+	nb := make([]int32, 0, k+1+len(blocks))
+	nb = append(append(nb, parent.blocks[:k+1]...), blocks...)
+	ntk := make([]bool, 0, cap(nb))
+	ntk = append(append(ntk, parent.taken[:k+1]...), taken...)
+	ntk[k] = !fork.expect
+	newIdx := uint16(len(tr.paths))
+	segStart := len(tr.ops)
+	cont := tr.head
+	if !tr.loop {
+		cont = tr.exitPC
+	}
+	ops, cum, ok := c.lowerBlocks(tr.ops, blocks, taken, int32(k+1), fork.cum, newIdx, cont, tail, treeMaxOps)
+	if !ok {
+		guardFail(fork)
+		return
+	}
+	if !tail {
+		// A tail arm's closing uRet already observes and exits; every
+		// other arm ends its iteration with a uEnd mirroring the root's.
+		ops = append(ops, uop{
+			kind:    uEnd,
+			expect:  tr.loop,
+			tgt:     cont,
+			blockK:  int32(len(nb) - 1),
+			cum:     cum,
+			pathIdx: newIdx,
+		})
+	}
+	tr.ops = ops
+	tr.paths = append(tr.paths, tracePath{id: ts.nextID, blocks: nb, taken: ntk, nInstrs: cum})
+	if tobs != nil {
+		tobs.RegisterTrace(ts.nextID, nb, ntk)
+	}
+	ts.nextID++
+	// The appends may have moved the op array: re-resolve the fork before
+	// flipping it into a child entry.
+	fork = &tr.ops[forkOp]
+	fork.child = int32(segStart)
+	fork.childPath = newIdx
+	fork.imm2 = 0
+	ts.treeNodes++
+}
+
+// growChild runs after a uJcc side exit from a still-live trace: it counts
+// the exit against the guard and, past the backoff-scaled threshold, starts
+// recording the alternate path — or attaches it immediately when the exit
+// jumps straight to the rejoin point (an empty arm).
+func (c *CPU) growChild(ts *traceState, tobs TraceObserver, tr *vmTrace, exitOp int32) {
+	u := &tr.ops[exitOp]
+	if u.child != 0 || u.d >= traceMaxAttempts {
+		return
+	}
+	u.imm2++
+	if u.imm2 < treeGrowThreshold<<u.d {
+		return
+	}
+	nodes := len(tr.paths)
+	if nodes == 0 {
+		nodes = 1
+	}
+	if nodes >= treeMaxNodes || len(tr.ops) >= treeMaxOps {
+		// Tree is full: stop counting at this guard for good.
+		u.d = traceMaxAttempts
+		return
+	}
+	stop := tr.head
+	if !tr.loop {
+		stop = tr.exitPC
+	}
+	target := c.pc
+	if stop >= 0 && int32(target) == stop {
+		c.attachChildSeg(ts, tobs, tr, exitOp, nil, nil, false)
+		return
+	}
+	code := c.code
+	if target < 0 || target >= len(code.blockOf) {
+		guardFail(u)
+		return
+	}
+	bi := int(code.blockOf[target])
+	if int(code.blocks[bi].start) != target {
+		// A mid-block exit target cannot anchor an arm recording.
+		guardFail(u)
+		return
+	}
+	rec := &ts.rec
+	rec.active, rec.child = true, true
+	rec.head = tr.head
+	rec.parent = tr.slot
+	rec.parentOp = exitOp
+	rec.childStop = stop
+	rec.blocks = rec.blocks[:0]
+	rec.taken = rec.taken[:0]
+	rec.depth = 0
 }
 
 // lowerInst lowers one body instruction to a micro-op. The second result is
@@ -1423,6 +1719,8 @@ func (c *CPU) execTrace(tr *vmTrace, ts *traceState, maxInstrs int64, tobs Trace
 	var final int64
 	var retErr error
 	exitK := int32(-1)
+	exitOp := int32(-1)
+	var exitPath uint16
 	exited := false
 	i := 0
 	for {
@@ -2037,8 +2335,12 @@ func (c *CPU) execTrace(tr *vmTrace, ts *traceState, maxInstrs int64, tobs Trace
 				c.pc = int(v)
 				tr.iters++
 				ts.iters++
+				if u.pathIdx != 0 {
+					ts.treeIters++
+					ts.treeInstrs += uint64(u.cum)
+				}
 				if tobs != nil {
-					tobs.ObserveTrace(tr.id, measured, pen)
+					tobs.ObserveTrace(tr.pathID(u.pathIdx), measured, pen)
 				}
 				pen = pen[:0]
 				final = iterBase + u.cum
@@ -2051,6 +2353,7 @@ func (c *CPU) execTrace(tr *vmTrace, ts *traceState, maxInstrs int64, tobs Trace
 				c.pc = int(v)
 				final = iterBase + u.cum
 				exitK = u.blockK
+				exitPath = u.pathIdx
 				exited = true
 				goto out
 			}
@@ -2084,6 +2387,15 @@ func (c *CPU) execTrace(tr *vmTrace, ts *traceState, maxInstrs int64, tobs Trace
 				t = !sf
 			}
 			if t != u.expect {
+				if u.child != 0 && iterBase+tr.paths[u.childPath].nInstrs <= maxInstrs {
+					// Fork into the attached alternate path: registers stay
+					// in the locals and the child segment carries the
+					// iteration back to the head. When the child path does
+					// not fit the remaining budget, fall through to a plain
+					// side exit — block dispatch single-steps to the edge.
+					i = int(u.child) - 1
+					break
+				}
 				// Side exit: the guard went the un-recorded way. The blocks
 				// up to and including this one completed architecturally.
 				if t {
@@ -2093,6 +2405,8 @@ func (c *CPU) execTrace(tr *vmTrace, ts *traceState, maxInstrs int64, tobs Trace
 				}
 				final = iterBase + u.cum
 				exitK = u.blockK
+				exitOp = int32(i)
+				exitPath = u.pathIdx
 				exited = true
 				goto out
 			}
@@ -2101,8 +2415,12 @@ func (c *CPU) execTrace(tr *vmTrace, ts *traceState, maxInstrs int64, tobs Trace
 			iterDone := iterBase + u.cum
 			tr.iters++
 			ts.iters++
+			if u.pathIdx != 0 {
+				ts.treeIters++
+				ts.treeInstrs += uint64(u.cum)
+			}
 			if tobs != nil {
-				tobs.ObserveTrace(tr.id, measured, pen)
+				tobs.ObserveTrace(tr.pathID(u.pathIdx), measured, pen)
 			}
 			pen = pen[:0]
 			iterBase = iterDone
@@ -2155,9 +2473,15 @@ out:
 		tr.exits++
 		ts.exits++
 		if tobs != nil {
-			tobs.ObserveTraceExit(tr.id, int(exitK), measured, pen)
+			tobs.ObserveTraceExit(tr.pathID(exitPath), int(exitK), measured, pen)
 		}
 		ts.maybeDeopt(tr)
+		if exitOp >= 0 && !ts.rec.active &&
+			ts.byBlock[tr.headBlock] == tr.slot {
+			// A guard exit from a still-live trace: count it toward
+			// growing the alternate path as a child.
+			c.growChild(ts, tobs, tr, exitOp)
+		}
 	}
 	ts.penbuf = pen[:0]
 	return nil

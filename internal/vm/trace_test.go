@@ -202,6 +202,203 @@ func TestTraceDeoptReformation(t *testing.T) {
 	compareMachineState(t, gen, trc)
 }
 
+// traceTreeProg is a nested loop whose inner body takes a rare arm on every
+// eighth iteration — the biased-branch shape that makes a superblock's
+// guard fail persistently but below the deopt threshold, so the dispatcher
+// grows the alternate path as a trace-tree child instead of retiring the
+// trace.
+func traceTreeProg(outer int) *asm.Program {
+	b := asm.NewBuilder("tracetree")
+	b.Dwords("data", make([]int32, 64))
+	b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(int64(outer)))
+	b.Label("outer")
+	b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(64))
+	b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("data", 0))
+	b.Label("loop")
+	b.I(isa.MOV, asm.R(isa.EAX), asm.R(isa.ECX))
+	b.I(isa.AND, asm.R(isa.EAX), asm.Imm(7))
+	b.J(isa.JNE, "common")
+	b.I(isa.ADD, asm.MemD(isa.ESI, 0), asm.Imm(5)) // rare arm, 1 in 8
+	b.J(isa.JMP, "join")
+	b.Label("common")
+	b.I(isa.ADD, asm.MemD(isa.ESI, 0), asm.Imm(1))
+	b.Label("join")
+	b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(4))
+	b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(1))
+	b.J(isa.JNE, "loop")
+	b.I(isa.SUB, asm.R(isa.EDX), asm.Imm(1))
+	b.J(isa.JNE, "outer")
+	b.I(isa.HALT)
+	return b.MustLink()
+}
+
+// TestTraceTreeGrowth checks that a biased guard grows a child path rather
+// than deopting, that iterations then complete through the tree, and that
+// the final machine state still matches the generic interpreter.
+func TestTraceTreeGrowth(t *testing.T) {
+	trc := vm.NewWithCode(vm.Compile(traceTreeProg(256)))
+	trc.Traces = true
+	trc.TraceThreshold = 4
+	if err := trc.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	st := trc.TraceStats()
+	if st.TreeNodes == 0 {
+		t.Fatalf("biased guard grew no tree: %+v", st)
+	}
+	if st.TreeIters == 0 {
+		t.Fatalf("tree grew but no iteration completed via a child path: %+v", st)
+	}
+
+	gen := vm.New(traceTreeProg(256))
+	gen.Generic = true
+	if err := gen.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Executed() != trc.Executed() {
+		t.Errorf("executed: generic %d, trace %d", gen.Executed(), trc.Executed())
+	}
+	compareMachineState(t, gen, trc)
+}
+
+// TestTraceTreeBudgetExact exhausts the instruction budget while the hot
+// loop is running inside a grown trace tree: the fault must land on exactly
+// the same instruction, with the same message and architectural state, as
+// the generic interpreter — forks must not enter a child path whose whole
+// iteration would overrun.
+func TestTraceTreeBudgetExact(t *testing.T) {
+	// Deep inside tree execution (the tree grows within the first ~2k
+	// instructions at threshold 4), landing mid-iteration.
+	const budget = 100_003
+
+	gen := vm.New(traceTreeProg(256))
+	gen.Generic = true
+	genErr := gen.Run(budget)
+
+	trc := vm.NewWithCode(vm.Compile(traceTreeProg(256)))
+	trc.Traces = true
+	trc.TraceThreshold = 4
+	trcErr := trc.Run(budget)
+
+	if genErr == nil || trcErr == nil {
+		t.Fatalf("both runs must exhaust the budget: generic %v, trace %v", genErr, trcErr)
+	}
+	if genErr.Error() != trcErr.Error() {
+		t.Errorf("budget fault differs:\n generic: %v\n trace:   %v", genErr, trcErr)
+	}
+	if gen.Executed() != trc.Executed() {
+		t.Errorf("executed at fault: generic %d, trace %d", gen.Executed(), trc.Executed())
+	}
+	if st := trc.TraceStats(); st.TreeIters == 0 {
+		t.Errorf("budget run never completed a child-path iteration: %+v", st)
+	}
+	compareMachineState(t, gen, trc)
+}
+
+// TestTraceTreePollCancellation cancels a run while iterations are
+// completing through trace-tree child paths (registers live in interpreter
+// locals across forks) and checks the abort spills a consistent
+// architectural state: the generic interpreter stopped at the same retired
+// count must reproduce registers and memory exactly.
+func TestTraceTreePollCancellation(t *testing.T) {
+	errCancel := errors.New("cancelled")
+
+	trc := vm.NewWithCode(vm.Compile(traceTreeProg(256)))
+	trc.Traces = true
+	trc.TraceThreshold = 4
+	trc.PollEvery = 64
+	trc.Poll = func() error {
+		if trc.Executed() >= 50_000 {
+			return errCancel
+		}
+		return nil
+	}
+	if err := trc.Run(1 << 24); !errors.Is(err, errCancel) {
+		t.Fatalf("trace run: got %v, want wrapped errCancel", err)
+	}
+	if st := trc.TraceStats(); st.TreeIters == 0 {
+		t.Fatalf("cancelled run never completed a child-path iteration: %+v", st)
+	}
+	stopped := trc.Executed()
+
+	gen := vm.New(traceTreeProg(256))
+	gen.Generic = true
+	gen.PollEvery = 1
+	gen.Poll = func() error {
+		if gen.Executed() >= stopped {
+			return errCancel
+		}
+		return nil
+	}
+	if err := gen.Run(1 << 24); !errors.Is(err, errCancel) {
+		t.Fatalf("generic run: got %v, want wrapped errCancel", err)
+	}
+	if gen.Executed() != stopped {
+		t.Fatalf("generic stopped at %d, trace at %d", gen.Executed(), stopped)
+	}
+	compareMachineState(t, gen, trc)
+}
+
+// TestTraceTreeGuardFlapping drives a guard that flips direction every
+// outer pass: whole passes go one way, then the other, so neither arm ever
+// goes cold. The side-exit governor must not thrash deopt/reform cycles —
+// the tree absorbs the alternate arm — and the final state must match the
+// generic interpreter.
+func TestTraceTreeGuardFlapping(t *testing.T) {
+	build := func() *asm.Program {
+		b := asm.NewBuilder("flap")
+		b.Dwords("data", make([]int32, 64))
+		b.Dwords("flag", []int32{0})
+		b.I(isa.MOV, asm.R(isa.EDX), asm.Imm(200))
+		b.Label("outer")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, "flag", 0))
+		b.I(isa.XOR, asm.R(isa.EAX), asm.Imm(1)) // flip every pass
+		b.I(isa.MOV, asm.Sym(isa.SizeD, "flag", 0), asm.R(isa.EAX))
+		b.I(isa.MOV, asm.R(isa.ECX), asm.Imm(32))
+		b.I(isa.MOV, asm.R(isa.ESI), asm.ImmSym("data", 0))
+		b.Label("loop")
+		b.I(isa.MOV, asm.R(isa.EAX), asm.Sym(isa.SizeD, "flag", 0))
+		b.I(isa.CMP, asm.R(isa.EAX), asm.Imm(0))
+		b.J(isa.JNE, "alt")
+		b.I(isa.ADD, asm.MemD(isa.ESI, 0), asm.Imm(1))
+		b.J(isa.JMP, "join")
+		b.Label("alt")
+		b.I(isa.ADD, asm.MemD(isa.ESI, 0), asm.Imm(2))
+		b.Label("join")
+		b.I(isa.ADD, asm.R(isa.ESI), asm.Imm(4))
+		b.I(isa.SUB, asm.R(isa.ECX), asm.Imm(1))
+		b.J(isa.JNE, "loop")
+		b.I(isa.SUB, asm.R(isa.EDX), asm.Imm(1))
+		b.J(isa.JNE, "outer")
+		b.I(isa.HALT)
+		return b.MustLink()
+	}
+
+	trc := vm.NewWithCode(vm.Compile(build()))
+	trc.Traces = true
+	trc.TraceThreshold = 4
+	if err := trc.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	st := trc.TraceStats()
+	if st.TreeNodes == 0 {
+		t.Errorf("flapping guard should grow its alternate arm: %+v", st)
+	}
+	if st.Exits == 0 {
+		t.Errorf("flapping guard should side-exit while growing: %+v", st)
+	}
+
+	gen := vm.New(build())
+	gen.Generic = true
+	if err := gen.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Executed() != trc.Executed() {
+		t.Errorf("executed: generic %d, trace %d", gen.Executed(), trc.Executed())
+	}
+	compareMachineState(t, gen, trc)
+}
+
 // compareMachineState fails the test wherever two CPUs' architectural
 // states (GPRs, MM registers, memory image) disagree.
 func compareMachineState(t *testing.T, a, b *vm.CPU) {

@@ -38,6 +38,18 @@ run_one() {
         -bench-json "$dest" -table2 >/dev/null
     echo "==> $dest"
     grep -E '"(geomean|aggregate)_instrs_per_sec"|"suite_wall_seconds"' "$dest"
+    if [[ "$mode" == trace ]]; then
+        # Trace-tier coverage per program: superblocks formed, trace-tree
+        # child paths grown, governor deopts, side-exit rate.
+        echo "    program        traces  tree  deopts  side-exit%"
+        jq -r '.programs[] |
+            [.program, .traces_formed // 0, .tree_nodes // 0,
+             .trace_deopts // 0, (.side_exit_pct // 0 | . * 10 | round / 10)] |
+            @tsv' "$dest" |
+        while IFS=$'\t' read -r prog tf tn td se; do
+            printf '    %-14s %5d %5d %6d %10s\n' "$prog" "$tf" "$tn" "$td" "$se"
+        done
+    fi
 }
 
 if [[ "$dispatch" == "all" ]]; then

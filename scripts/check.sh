@@ -28,7 +28,7 @@ go test "$@" ./...
 echo "==> go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/..."
 go test -race ./internal/core/... ./internal/suite/... ./internal/server/... ./internal/cluster/...
 
-# The service end-to-end suite: all 19 programs x 4 dispatch modes over
+# The service end-to-end suite: all 21 programs x 4 dispatch modes over
 # HTTP byte-equivalent to direct runs, the result cache replaying the same
 # sweep byte-identically, the daemon SIGTERM drain, and the spill tier
 # surviving a real restart.
