@@ -12,8 +12,9 @@
 //	mmxd -result-cache-dir /var/cache/mmxd   # results survive restarts
 //	mmxd -result-cache-max-bytes 64000000    # bound the spill directory
 //	mmxd -warm-suite auto,trace # prefetch the suite table before serving
+//	mmxd -tenant-rate 10 -tenant-concurrent 4   # per-tenant quotas
 //
-// Endpoints: POST /run, GET /table, GET /healthz, GET /metrics. See
+// Endpoints: POST /run, POST /asm, GET /table, GET /healthz, GET /metrics. See
 // internal/server for the request and response schemas, and the README's
 // "Running mmxd" section for examples.
 package main
@@ -48,6 +49,14 @@ func main() {
 		resFiles  = flag.Int("result-cache-max-files", 8192, "spill-directory file-count bound (0 = unlimited)")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
 		warmSuite = flag.String("warm-suite", "", "prefetch the whole-suite table for these dispatch modes (comma-separated, e.g. auto,trace) before serving")
+
+		maxSource    = flag.Int("max-source-bytes", 0, "largest /asm source listing accepted (0 = 4 MiB default)")
+		asmMaxInstrs = flag.Int64("asm-max-instrs", 0, "instruction-budget cap for /asm runs (0 = default, -1 = uncapped)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant requests/sec (token bucket; 0 disables tenant limits)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant burst size (0 = max(1, tenant-rate))")
+		tenantConc   = flag.Int("tenant-concurrent", 0, "per-tenant concurrent-run cap (0 = unlimited)")
+		tenantQuota  = flag.Int64("tenant-instr-quota", 0, "per-tenant simulated-instruction quota per window (0 = unlimited)")
+		tenantWindow = flag.Duration("tenant-window", 0, "instruction-quota window (0 = 1m)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -72,6 +81,16 @@ func main() {
 
 		ResultCacheSpillMaxBytes: *resBytes,
 		ResultCacheSpillMaxFiles: *resFiles,
+
+		MaxSourceBytes:  *maxSource,
+		AsmMaxInstrsCap: *asmMaxInstrs,
+		Tenant: server.TenantLimits{
+			Rate:          *tenantRate,
+			Burst:         *tenantBurst,
+			MaxConcurrent: *tenantConc,
+			InstrQuota:    *tenantQuota,
+			Window:        *tenantWindow,
+		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -10,7 +10,8 @@
 //	mmxfleet -addr :8930 -retries 3 -hedge-after 250ms
 //	mmxfleet -probe-interval 1s -fail-threshold 2
 //
-// Endpoints: POST /run (mmxd schema, routed), POST /suite (scatter-gather
+// Endpoints: POST /run (mmxd schema, routed), POST /asm (user-submitted
+// programs, routed by source hash), POST /suite (scatter-gather
 // Table 2/3), GET /programs, GET /healthz, GET /metrics. See
 // internal/cluster for behavior, and the README's "Running a fleet"
 // section for a walkthrough.
@@ -43,6 +44,7 @@ func main() {
 		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge a second request after this latency (0 = off)")
 		maxInflight   = flag.Int64("max-inflight", 0, "per-backend in-flight cap before affinity fallback (0 = off)")
 		resCache      = flag.Int("result-cache", 512, "coordinator result-cache entries (a hit skips the backend round-trip; 0 disables)")
+		maxSource     = flag.Int("max-source-bytes", 0, "largest /asm source listing accepted (0 = 4 MiB default)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
@@ -69,6 +71,7 @@ func main() {
 		Retries:            *retries,
 		HedgeAfter:         *hedgeAfter,
 		MaxInflight:        *maxInflight,
+		MaxSourceBytes:     *maxSource,
 		ResultCacheEntries: resEntries,
 	})
 	if err != nil {

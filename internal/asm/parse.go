@@ -8,6 +8,7 @@
 package asm
 
 import (
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
@@ -50,11 +51,12 @@ var sizeLookup = map[string]isa.Size{
 //	.bytes name v,...   initialized data (decimal or 0x values)
 //	.words name v,...
 //	.dwords name v,...
+//	.hex name 0a1b...   initialized data as one hex string (Program.Source)
 //	.reserve name n     zero-initialized space
 //
 // ';' starts a comment; an optional leading decimal instruction index (as
-// printed by Program.Listing) is ignored. Errors carry 1-based line
-// numbers.
+// printed by Program.Listing) is ignored. Line-scoped errors are
+// *SourceError values carrying 1-based line and column positions.
 func ParseSource(name, src string) (*Program, error) {
 	b := NewBuilder(name)
 	for ln, raw := range strings.Split(src, "\n") {
@@ -67,10 +69,65 @@ func ParseSource(name, src string) (*Program, error) {
 			continue
 		}
 		if err := parseLine(b, line); err != nil {
-			return nil, fmt.Errorf("asm(%s): line %d: %w", name, ln+1, err)
+			return nil, &SourceError{
+				File: name,
+				Line: ln + 1,
+				Col:  columnOf(raw, err),
+				Err:  err,
+			}
 		}
 	}
 	return b.Link()
+}
+
+// SourceError is a parse failure pinned to a source position. Line and Col
+// are 1-based; Col points at the offending token when the diagnostic names
+// one, else at the first non-blank column of the statement.
+type SourceError struct {
+	File string // program name as passed to ParseSource
+	Line int
+	Col  int
+	Err  error
+}
+
+func (e *SourceError) Error() string {
+	return fmt.Sprintf("asm(%s): line %d:%d: %v", e.File, e.Line, e.Col, e.Err)
+}
+
+func (e *SourceError) Unwrap() error { return e.Err }
+
+// columnOf locates the diagnostic's position in the raw source line: the
+// first occurrence of the error's first quoted token, falling back to the
+// statement's first non-blank byte. 1-based; 1 for blank lines (which
+// never error anyway).
+func columnOf(raw string, err error) int {
+	if tok := quotedToken(err.Error()); tok != "" {
+		if i := strings.Index(raw, tok); i >= 0 {
+			return i + 1
+		}
+	}
+	if i := strings.IndexFunc(raw, func(r rune) bool { return r != ' ' && r != '\t' }); i >= 0 {
+		return i + 1
+	}
+	return 1
+}
+
+// quotedToken extracts the first Go-quoted ("%q") token from a diagnostic
+// message, or "" when there is none.
+func quotedToken(msg string) string {
+	i := strings.IndexByte(msg, '"')
+	if i < 0 {
+		return ""
+	}
+	lit, err := strconv.QuotedPrefix(msg[i:])
+	if err != nil {
+		return ""
+	}
+	tok, err := strconv.Unquote(lit)
+	if err != nil {
+		return ""
+	}
+	return tok
 }
 
 func parseLine(b *Builder, line string) error {
@@ -147,6 +204,20 @@ func parseDirective(b *Builder, line string) error {
 			}
 			b.Dwords(name, out)
 		}
+	case ".hex":
+		name, hexText, ok := strings.Cut(rest, " ")
+		hexText = strings.TrimSpace(hexText)
+		if !ok || !isIdent(name) || hexText == "" {
+			return fmt.Errorf(".hex wants: .hex name hexbytes")
+		}
+		if len(hexText) > 2*maxReserve {
+			return fmt.Errorf(".hex data %d bytes exceeds %d", len(hexText)/2, maxReserve)
+		}
+		data, err := hex.DecodeString(hexText)
+		if err != nil {
+			return fmt.Errorf("bad .hex data: %v", err)
+		}
+		b.Bytes(name, data)
 	case ".reserve":
 		name, szText, ok := strings.Cut(rest, " ")
 		if !ok || !isIdent(name) {

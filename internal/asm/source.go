@@ -1,0 +1,85 @@
+// Full-fidelity textual serialization of a linked Program. Listing is a
+// human-readable disassembly of the code stream alone; Source additionally
+// carries the data image, BSS reservation, entry point and procedure
+// extents, so ParseSource(name, p.Source()) reproduces a program whose
+// execution (and therefore whose profile report) is identical to p's. This
+// is the wire format user-submitted programs travel in: anything the
+// service can run, it can also hand back as resubmittable source.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reserved symbol names Source uses for the serialized memory image. They
+// live in the data-symbol namespace, which is disjoint from code labels,
+// and original symbol names are already folded into displacements at link
+// time, so the substitution cannot collide or change execution.
+const (
+	sourceDataSym = "__data"
+	sourceBSSSym  = "__bss"
+)
+
+// Source renders a complete, reassemblable serialization of the program.
+// Unlike Listing it emits .proc/.entry directives, the initialized data
+// image (as one .hex block) and the BSS reservation; reassembling the
+// result yields the same instruction stream, procedure extents, entry
+// point and memory image, hence byte-identical profile reports.
+func (p *Program) Source() string {
+	// Procedure starts, in extent order (Procs is sorted by Start).
+	procStarts := map[int][]string{}
+	procNames := map[string]bool{}
+	for _, pr := range p.Procs {
+		procStarts[pr.Start] = append(procStarts[pr.Start], pr.Name)
+		procNames[pr.Name] = true
+	}
+	// Remaining labels, .proc defines its own label.
+	byIndex := map[int][]string{}
+	for name, idx := range p.Labels {
+		if procNames[name] && containsString(procStarts[idx], name) {
+			continue
+		}
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "; source of %s: %d instructions, %d data bytes, %d bss bytes\n",
+		p.Name, len(p.Insts), len(p.Data), p.BSSSize)
+	if len(p.Data) > 0 {
+		fmt.Fprintf(&b, ".hex %s %x\n", sourceDataSym, p.Data)
+	}
+	if p.BSSSize > 0 {
+		fmt.Fprintf(&b, ".reserve %s %d\n", sourceBSSSym, p.BSSSize)
+	}
+	for i := 0; i <= len(p.Insts); i++ {
+		if i == p.Entry {
+			// Entry 0 is the builder default, but emitting it is harmless
+			// and keeps the serialization uniform; trailing entries (one
+			// past the last instruction) are legal and preserved.
+			b.WriteString(".entry\n")
+		}
+		for _, name := range procStarts[i] {
+			fmt.Fprintf(&b, ".proc %s\n", name)
+		}
+		labels := byIndex[i]
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		if i < len(p.Insts) {
+			fmt.Fprintf(&b, "%6d    %s\n", i, p.Insts[i].String())
+		}
+	}
+	return b.String()
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

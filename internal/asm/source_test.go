@@ -1,0 +1,104 @@
+// Round-trip tests for Program.Source, the full-fidelity serialization
+// user submissions travel in. Listing only promises the instruction
+// stream; Source must also reproduce the data image, BSS, entry point and
+// procedure extents — everything the profile report can observe.
+package asm_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mmxdsp/internal/asm"
+	"mmxdsp/internal/suite"
+)
+
+func TestSourceRoundTripsSuitePrograms(t *testing.T) {
+	for _, bench := range suite.All() {
+		prog, err := bench.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", bench.Name(), err)
+		}
+		re, err := asm.ParseSource(prog.Name, prog.Source())
+		if err != nil {
+			t.Errorf("%s: source failed to re-assemble: %v", bench.Name(), err)
+			continue
+		}
+		if len(re.Insts) != len(prog.Insts) {
+			t.Errorf("%s: reparse has %d instructions, want %d",
+				bench.Name(), len(re.Insts), len(prog.Insts))
+			continue
+		}
+		for i := range prog.Insts {
+			if prog.Insts[i].String() != re.Insts[i].String() ||
+				prog.Insts[i].Target != re.Insts[i].Target {
+				t.Errorf("%s: instruction %d drifted: %q (target %d) -> %q (target %d)",
+					bench.Name(), i, prog.Insts[i], prog.Insts[i].Target,
+					re.Insts[i], re.Insts[i].Target)
+				break
+			}
+		}
+		if re.Entry != prog.Entry {
+			t.Errorf("%s: entry %d, want %d", bench.Name(), re.Entry, prog.Entry)
+		}
+		if len(re.Procs) != len(prog.Procs) {
+			t.Errorf("%s: %d procs, want %d", bench.Name(), len(re.Procs), len(prog.Procs))
+		} else {
+			for i, want := range prog.Procs {
+				if re.Procs[i] != want {
+					t.Errorf("%s: proc %d = %+v, want %+v", bench.Name(), i, re.Procs[i], want)
+				}
+			}
+		}
+		if !bytes.Equal(re.Data, prog.Data) {
+			t.Errorf("%s: data image drifted (%d bytes -> %d bytes)",
+				bench.Name(), len(prog.Data), len(re.Data))
+		}
+		if re.BSSSize != prog.BSSSize || re.MemSize != prog.MemSize {
+			t.Errorf("%s: memory layout drifted: bss %d->%d mem %d->%d",
+				bench.Name(), prog.BSSSize, re.BSSSize, prog.MemSize, re.MemSize)
+		}
+	}
+}
+
+// TestSourceHexDirective pins the .hex data form Source emits.
+func TestSourceHexDirective(t *testing.T) {
+	prog, err := asm.ParseSource("hexdata", ".hex blob 0102ff\n.entry\n\tmov eax, blob\n\thalt\n")
+	if err != nil {
+		t.Fatalf("ParseSource: %v", err)
+	}
+	want := []byte{1, 2, 255}
+	if !bytes.Equal(prog.Data[:3], want) {
+		t.Fatalf("data = %v, want prefix %v", prog.Data, want)
+	}
+	for _, bad := range []string{".hex blob", ".hex blob xyz", ".hex blob 012"} {
+		if _, err := asm.ParseSource("hexdata", bad+"\nhalt\n"); err == nil {
+			t.Errorf("ParseSource(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestSourceErrorPositions pins the structured line/column diagnostics the
+// HTTP submission path surfaces to users.
+func TestSourceErrorPositions(t *testing.T) {
+	src := "start:\n\tmov eax, 1\n\tfrobnicate eax\n"
+	_, err := asm.ParseSource("prog", src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var se *asm.SourceError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not *asm.SourceError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+	// "\tfrobnicate eax" — the offending mnemonic starts at column 2.
+	if se.Col != 2 {
+		t.Errorf("col = %d, want 2", se.Col)
+	}
+	if !strings.Contains(se.Error(), "line 3:2:") {
+		t.Errorf("message %q lacks line:col position", se.Error())
+	}
+}

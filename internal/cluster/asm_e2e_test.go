@@ -1,0 +1,237 @@
+// End-to-end tests for user-submitted programs through the fleet: /asm
+// routed by source hash must serve the same report bytes as /run of the
+// registry program, repeat submissions must stay affine to one warm
+// backend cache, and a two-tenant flood (bulk + interactive) must keep
+// interactive latency bounded — including across a backend dying
+// mid-burst, with zero failed interactive responses.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mmxdsp/internal/cluster"
+	"mmxdsp/internal/server"
+	"mmxdsp/internal/suite"
+)
+
+// asmFleetBody renders a /asm request body with proper escaping.
+func asmFleetBody(t *testing.T, fields map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// postFleetAsm submits one /asm through the coordinator with headers.
+func postFleetAsm(t *testing.T, url, body string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/asm", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /asm: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// suiteSource serializes one suite program back to listing text.
+func suiteSource(t *testing.T, name string) string {
+	t.Helper()
+	bench, ok := suite.ByName(name)
+	if !ok {
+		t.Fatalf("unknown suite program %q", name)
+	}
+	prog, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Source()
+}
+
+// TestFleetAsmConformanceAndAffinity: a suite program submitted as source
+// through the fleet yields the same report bytes as /run of the registry
+// program through the fleet, and repeat submissions of one source all land
+// on one backend whose compiled-program cache answers warm.
+func TestFleetAsmConformanceAndAffinity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real runs through the fleet; skipped in -short mode")
+	}
+	f := newFleet(t, 2, cluster.Config{})
+	source := suiteSource(t, "fir.mmx")
+
+	// Conformance through the relay: /asm report bytes == /run report bytes.
+	resp, runData := f.run(t, `{"program":"fir.mmx","dispatch":"block","skip_check":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run: status %d: %s", resp.StatusCode, runData)
+	}
+	body := asmFleetBody(t, map[string]any{"source": source, "name": "fir.mmx", "dispatch": "block"})
+	resp, asmData := postFleetAsm(t, f.ts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/asm: status %d: %s", resp.StatusCode, asmData)
+	}
+	if got, want := reportOf(t, asmData), reportOf(t, runData); got != want {
+		t.Error("/asm report through the fleet differs from /run report")
+	}
+
+	// Affinity: repeats of one source stick to one backend, warm.
+	const repeats = 15
+	target := resp.Header.Get(cluster.BackendHeader)
+	for i := 0; i < repeats; i++ {
+		resp, data := postFleetAsm(t, f.ts.URL, body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repeat %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		if by := resp.Header.Get(cluster.BackendHeader); by != target {
+			t.Fatalf("repeat %d routed to %s, earlier ones to %s — affinity broken", i, by, target)
+		}
+	}
+	mresp, err := http.Get(target + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.AsmRuns != repeats+1 {
+		t.Errorf("routed backend served %d asm runs, want %d", snap.AsmRuns, repeats+1)
+	}
+	if snap.CacheHits < repeats {
+		t.Errorf("routed backend compiled-cache hits = %d, want >= %d (affinity should keep it warm)",
+			snap.CacheHits, repeats)
+	}
+	if got := f.coord.Snapshot().AsmRequests; got != int64(repeats+1) {
+		t.Errorf("coordinator asm_requests = %d, want %d", got, repeats+1)
+	}
+}
+
+// TestFleetTwoTenantFloodSurvivesBackendDeath is the multi-tenant
+// acceptance gate: a bulk tenant floods a 2-backend fleet with budgeted
+// spin submissions while an interactive tenant submits real work; one
+// backend is killed mid-burst. Every interactive response must succeed
+// (retries re-route around the death), and interactive p99 stays bounded.
+func TestFleetTwoTenantFloodSurvivesBackendDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained two-tenant flood; skipped in -short mode")
+	}
+	f := newFleet(t, 2, cluster.Config{Retries: 4, FailThreshold: 1})
+
+	// Bulk flood: budgeted infinite loops, ~tens of ms of simulation each,
+	// distinct sources so every submission compiles and runs.
+	stopBulk := make(chan struct{})
+	var bulkOK, bulkShed, bulkOther atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopBulk:
+					return
+				default:
+				}
+				src := fmt.Sprintf(".proc main\n\tprofon\n\tmov ecx, %d\nspin:\n\tadd eax, 1\n\tjmp spin\n", g*1000+i)
+				body := asmFleetBody(t, map[string]any{"source": src, "max_instrs": 2000000})
+				req, err := http.NewRequest(http.MethodPost, f.ts.URL+"/asm", strings.NewReader(body))
+				if err != nil {
+					bulkOther.Add(1)
+					continue
+				}
+				req.Header.Set(server.TenantHeader, "bulk-tenant")
+				req.Header.Set(server.PriorityHeader, "bulk")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					bulkOther.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					bulkOK.Add(1)
+				case http.StatusTooManyRequests:
+					bulkShed.Add(1)
+				default:
+					bulkOther.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Interactive tenant: real suite work, latency measured per request.
+	source := suiteSource(t, "fir.mmx")
+	body := asmFleetBody(t, map[string]any{"source": source, "name": "fir.mmx", "dispatch": "block"})
+	headers := map[string]string{server.TenantHeader: "interactive-tenant"}
+	const interactiveReqs = 30
+	var latencies []time.Duration
+	failed := 0
+	for i := 0; i < interactiveReqs; i++ {
+		if i == interactiveReqs/2 {
+			// Kill a backend mid-burst; in-flight work fails over.
+			f.backends[0].CloseClientConnections()
+			f.backends[0].Close()
+		}
+		start := time.Now()
+		resp, data := postFleetAsm(t, f.ts.URL, body, headers)
+		latencies = append(latencies, time.Since(start))
+		if resp.StatusCode != http.StatusOK {
+			failed++
+			t.Errorf("interactive request %d: status %d: %.200s", i, resp.StatusCode, data)
+		}
+	}
+	close(stopBulk)
+	wg.Wait()
+
+	if failed != 0 {
+		t.Fatalf("%d interactive responses failed across the backend death, want 0", failed)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if p99 > 5*time.Second {
+		t.Errorf("interactive p99 = %v under bulk flood, want < 5s", p99)
+	}
+	if bulkOK.Load() == 0 {
+		t.Error("bulk tenant completed zero runs — the flood never ran")
+	}
+	t.Logf("bulk: ok=%d shed=%d other=%d; interactive p99=%v",
+		bulkOK.Load(), bulkShed.Load(), bulkOther.Load(), p99)
+
+	// The surviving backend accounts both tenants separately.
+	mresp, err := http.Get(f.backends[1].URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Tenants["interactive-tenant"]; !ok {
+		t.Errorf("surviving backend has no per-tenant stats for the interactive tenant: %v", snap.Tenants)
+	}
+}

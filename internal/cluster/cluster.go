@@ -17,6 +17,7 @@
 // Endpoints:
 //
 //	POST /run       route one benchmark run to a backend (mmxd schema)
+//	POST /asm       route one user-submitted program by source hash
 //	POST /suite     scatter-gather a full table run across the fleet
 //	GET  /programs  capability discovery, proxied from the fleet
 //	GET  /healthz   coordinator liveness (503 when no backend is routable)
@@ -77,6 +78,11 @@ type Config struct {
 	// disables the check).
 	QueueSaturation int64
 
+	// MaxSourceBytes bounds the source listing accepted by POST /asm before
+	// it is routed (default server.DefaultMaxSourceBytes). Backends enforce
+	// their own cap too; rejecting here saves the round-trip.
+	MaxSourceBytes int
+
 	// ResultCacheEntries bounds the coordinator's result cache of marshaled
 	// /run response bytes (default 512; negative disables it). A hit is
 	// answered locally — no backend round-trip — and /suite gathers its
@@ -113,6 +119,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.QueueSaturation == 0 {
 		cfg.QueueSaturation = 16
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = server.DefaultMaxSourceBytes
 	}
 	if cfg.ResultCacheEntries == 0 {
 		cfg.ResultCacheEntries = 512
@@ -174,6 +183,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/run", c.handleRun)
+	c.mux.HandleFunc("/asm", c.handleAsm)
 	c.mux.HandleFunc("/suite", c.handleSuite)
 	c.mux.HandleFunc("/programs", c.handlePrograms)
 	c.mux.HandleFunc("/healthz", c.handleHealthz)

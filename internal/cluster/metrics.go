@@ -24,6 +24,8 @@ type fleetMetrics struct {
 	readmissions  expvar.Int // dead/suspect -> healthy transitions
 	suiteRuns     expvar.Int // /suite scatter-gathers served
 	suiteFailed   expvar.Int // /suite requests answered with an error status
+	asmRequests   expvar.Int // /asm requests accepted for routing
+	bulkShed      expvar.Int // bulk-priority 429s synthesized at saturation
 
 	resultHits      expvar.Int // result-cache hits (no backend round-trip)
 	resultMisses    expvar.Int // result-cache misses (routed to a backend)
@@ -63,6 +65,11 @@ type FleetMetrics struct {
 	SuiteRuns     int64 `json:"suite_runs"`
 	SuiteFailed   int64 `json:"suite_failed"`
 
+	// Multi-tenant front door: user-submitted /asm requests routed, and
+	// bulk-priority requests shed with 429 when the whole fleet is saturated.
+	AsmRequests int64 `json:"asm_requests"`
+	BulkShed    int64 `json:"bulk_shed_429"`
+
 	// Result-cache effectiveness (all zero when result caching is off).
 	// JSON names match the daemon tier so tooling extracts both the same way.
 	ResultHits      int64   `json:"result_cache_hits"`
@@ -97,6 +104,8 @@ func (c *Coordinator) Snapshot() FleetMetrics {
 		Readmissions:  m.readmissions.Value(),
 		SuiteRuns:     m.suiteRuns.Value(),
 		SuiteFailed:   m.suiteFailed.Value(),
+		AsmRequests:   m.asmRequests.Value(),
+		BulkShed:      m.bulkShed.Value(),
 
 		ResultHits:      hits,
 		ResultMisses:    misses,

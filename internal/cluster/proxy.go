@@ -35,6 +35,31 @@ type backendResp struct {
 	body   []byte
 }
 
+// routedCall is one backend-bound POST: the path, the raw body, and the
+// headers the coordinator forwards — correlation ID, tenant identity
+// (resolved coordinator-side so backends account the real client, not the
+// coordinator's address) and priority.
+type routedCall struct {
+	path     string
+	body     []byte
+	id       string
+	tenant   string
+	priority string
+}
+
+// callFor builds the routedCall for an inbound request: the tenant header
+// is forwarded when present and pinned to the client IP otherwise, and the
+// priority header travels verbatim.
+func callFor(w http.ResponseWriter, r *http.Request, path string, body []byte) routedCall {
+	return routedCall{
+		path:     path,
+		body:     body,
+		id:       requestID(w),
+		tenant:   server.TenantKey(r),
+		priority: r.Header.Get(server.PriorityHeader),
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -80,8 +105,17 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.metrics.requests.Add(1)
+	c.routeCached(w, r, req.CacheKey(), req.ResultKey(), callFor(w, r, "/run", body))
+}
+
+// routeCached serves one keyed request through the coordinator result
+// cache (when enabled) and the routed fleet: a hit (or a coalesced wait on
+// an identical in-flight request) never costs a backend round-trip. Only
+// authoritative 200s are cached; any other backend answer is relayed
+// uncached through the sentinel path.
+func (c *Coordinator) routeCached(w http.ResponseWriter, r *http.Request, cacheKey, resultKey string, call routedCall) {
 	if c.results == nil {
-		resp, b, err := c.routeRun(r.Context(), req.CacheKey(), body, requestID(w))
+		resp, b, err := c.route(r.Context(), cacheKey, call)
 		if err != nil {
 			c.runRouteError(w, r, err)
 			return
@@ -89,15 +123,10 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		relay(w, b, resp)
 		return
 	}
-
-	// Result cache in front of routing: a hit (or a coalesced wait on an
-	// identical in-flight request) never costs a backend round-trip. Only
-	// authoritative 200s are cached; any other backend answer is relayed
-	// uncached through the sentinel path below.
 	var pass *backendResp
 	var passFrom *backend
-	res, outcome, err := c.results.Do(r.Context(), req.ResultKey(), func() ([]byte, error) {
-		resp, b, err := c.routeRun(r.Context(), req.CacheKey(), body, requestID(w))
+	res, outcome, err := c.results.Do(r.Context(), resultKey, func() ([]byte, error) {
+		resp, b, err := c.route(r.Context(), cacheKey, call)
 		if err != nil {
 			return nil, err
 		}
@@ -157,15 +186,27 @@ func requestID(w http.ResponseWriter) string {
 	return w.Header().Get(server.RequestIDHeader)
 }
 
-// routeRun routes one keyed /run body through the fleet: affinity order,
-// retries, hedging. It returns the first authoritative response (any HTTP
-// status except 429) or, after the budget is spent, the last 429 — the
-// caller relays it, Retry-After attached. A nil response with an error
-// means every attempt died on the wire.
-func (c *Coordinator) routeRun(ctx context.Context, key string, body []byte, id string) (*backendResp, *backend, error) {
+// route routes one keyed call through the fleet: affinity order, retries,
+// hedging. It returns the first authoritative response (any HTTP status
+// except 429) or, after the budget is spent, the last 429 — the caller
+// relays it, Retry-After attached. A nil response with an error means
+// every attempt died on the wire.
+func (c *Coordinator) route(ctx context.Context, key string, call routedCall) (*backendResp, *backend, error) {
 	order, affinity := c.routeOrder(key)
 	if len(order) == 0 {
 		return nil, nil, errors.New("no routable backend")
+	}
+	// Priority shedding: when every routable backend is saturated, bulk
+	// traffic sheds at the coordinator (429 + Retry-After, synthesized
+	// below by the caller's relay of this response) instead of queueing
+	// ahead of interactive work on some backend.
+	if call.priority == "bulk" && c.allSaturated(order) {
+		c.metrics.bulkShed.Add(1)
+		return &backendResp{
+			status: http.StatusTooManyRequests,
+			ctype:  "application/json",
+			body:   []byte("{\n  \"error\": \"fleet saturated; bulk traffic shed\"\n}\n"),
+		}, nil, nil
 	}
 	if affinity {
 		c.metrics.affinityHits.Add(1)
@@ -199,10 +240,10 @@ func (c *Coordinator) routeRun(ctx context.Context, key string, body []byte, id 
 		var winner *backend
 		var err error
 		if i == 0 && c.cfg.HedgeAfter > 0 && len(order) > 1 {
-			resp, winner, err = c.hedgedSend(ctx, target, order[1], body, id)
+			resp, winner, err = c.hedgedSend(ctx, target, order[1], call)
 		} else {
 			winner = target
-			resp, err = c.send(ctx, target, body, id)
+			resp, err = c.send(ctx, target, call)
 		}
 		if err != nil {
 			lastErr = err
@@ -228,18 +269,24 @@ func (c *Coordinator) routeRun(ctx context.Context, key string, body []byte, id 
 	return nil, nil, lastErr
 }
 
-// send issues one /run to b and reads the response fully. A transport
-// error (connection refused, reset, timeout) counts toward b's failure
-// streak — the data path notices a dead backend faster than the next
-// probe — unless the caller's context was the cause.
-func (c *Coordinator) send(ctx context.Context, b *backend, body []byte, id string) (*backendResp, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/run", bytes.NewReader(body))
+// send issues one routed POST to b and reads the response fully. A
+// transport error (connection refused, reset, timeout) counts toward b's
+// failure streak — the data path notices a dead backend faster than the
+// next probe — unless the caller's context was the cause.
+func (c *Coordinator) send(ctx context.Context, b *backend, call routedCall) (*backendResp, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+call.path, bytes.NewReader(call.body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if id != "" {
-		req.Header.Set(server.RequestIDHeader, id)
+	if call.id != "" {
+		req.Header.Set(server.RequestIDHeader, call.id)
+	}
+	if call.tenant != "" {
+		req.Header.Set(server.TenantHeader, call.tenant)
+	}
+	if call.priority != "" {
+		req.Header.Set(server.PriorityHeader, call.priority)
 	}
 	b.inflight.Add(1)
 	b.routed.Add(1)
@@ -279,7 +326,7 @@ func (c *Coordinator) recordFailure(b *backend, err error) {
 // body goes to alt; the first authoritative (non-429, non-error) response
 // wins and the loser is canceled. Runs are deterministic, so serving the
 // faster of two identical computations is safe by construction.
-func (c *Coordinator) hedgedSend(ctx context.Context, primary, alt *backend, body []byte, id string) (*backendResp, *backend, error) {
+func (c *Coordinator) hedgedSend(ctx context.Context, primary, alt *backend, call routedCall) (*backendResp, *backend, error) {
 	type result struct {
 		resp *backendResp
 		err  error
@@ -289,7 +336,7 @@ func (c *Coordinator) hedgedSend(ctx context.Context, primary, alt *backend, bod
 	defer cancel()
 	ch := make(chan result, 2)
 	send := func(b *backend) {
-		resp, err := c.send(hctx, b, body, id)
+		resp, err := c.send(hctx, b, call)
 		ch <- result{resp, err, b}
 	}
 	go send(primary)

@@ -58,6 +58,18 @@ func (c *Coordinator) saturated(b *backend) bool {
 	return c.cfg.QueueSaturation > 0 && b.load() >= c.cfg.QueueSaturation
 }
 
+// allSaturated reports whether every backend in the attempt order is
+// saturated — the condition under which bulk-priority traffic sheds at
+// the coordinator instead of queueing ahead of interactive work.
+func (c *Coordinator) allSaturated(order []*backend) bool {
+	for _, b := range order {
+		if !c.saturated(b) {
+			return false
+		}
+	}
+	return len(order) > 0
+}
+
 // routeOrder returns the attempt order for key: the HRW ranking, with the
 // least-loaded backend promoted to the front when the affinity target is
 // saturated. The second return reports whether the affinity choice held.

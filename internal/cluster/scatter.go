@@ -244,7 +244,11 @@ func (c *Coordinator) runProgram(r *http.Request, name string, req *SuiteRequest
 // result cache when enabled.
 func (c *Coordinator) fetchRun(r *http.Request, rr *server.RunRequest, body []byte) ([]byte, error) {
 	route := func() ([]byte, error) {
-		resp, _, err := c.routeRun(r.Context(), rr.CacheKey(), body, r.Header.Get(server.RequestIDHeader))
+		resp, _, err := c.route(r.Context(), rr.CacheKey(), routedCall{
+			path: "/run",
+			body: body,
+			id:   r.Header.Get(server.RequestIDHeader),
+		})
 		if err != nil {
 			return nil, err
 		}

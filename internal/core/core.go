@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -44,8 +45,15 @@ type Benchmark struct {
 	Check func(c *vm.CPU) error
 }
 
-// Name returns the paper-style program name, e.g. "fft.mmx".
-func (b Benchmark) Name() string { return b.Base + "." + b.Version }
+// Name returns the paper-style program name, e.g. "fft.mmx". Versionless
+// benchmarks (user-submitted programs served through /asm) are named by
+// Base alone.
+func (b Benchmark) Name() string {
+	if b.Version == "" {
+		return b.Base
+	}
+	return b.Base + "." + b.Version
+}
 
 // Dispatch modes for Options.Dispatch.
 const (
@@ -79,6 +87,14 @@ type Options struct {
 	MaxInstrs int64
 	// SkipCheck skips output validation.
 	SkipCheck bool
+	// PartialOnBudget turns instruction-budget exhaustion from a failure
+	// into a reportable outcome: the run returns a Result whose Report
+	// covers the instructions retired before the budget hit, with
+	// Result.BudgetExhausted set (and output validation skipped — a
+	// truncated run has nothing meaningful to check). This is how the
+	// service caps user-submitted programs without hanging on infinite
+	// loops.
+	PartialOnBudget bool
 	// Trace, when non-nil, receives a line per retired measured
 	// instruction, up to TraceLimit lines (0 = unlimited). A write error
 	// stops tracing and fails the run. Tracing forces RunAll sequential.
@@ -142,6 +158,10 @@ type Result struct {
 	// Traces reports trace-dispatch behavior (zero unless Dispatch was
 	// DispatchTrace): superblocks formed, full iterations, side exits.
 	Traces TraceStats
+	// BudgetExhausted marks a partial run: the instruction budget expired
+	// before HALT and Options.PartialOnBudget let it return a Result
+	// anyway. The Report covers only the retired prefix.
+	BudgetExhausted bool
 }
 
 // TraceStats describes trace-dispatch behavior for one run; like
@@ -278,16 +298,22 @@ func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
 		cpu.Hier = mem.NewHierarchy()
 	}
 	start := time.Now()
-	if err := cpu.Run(opt.MaxInstrs); err != nil {
-		return nil, fmt.Errorf("core: run %s: %w", b.Name(), err)
-	}
+	runErr := cpu.Run(opt.MaxInstrs)
 	wall := time.Since(start)
+	budgetHit := false
+	if runErr != nil {
+		if opt.PartialOnBudget && errors.Is(runErr, vm.ErrBudget) {
+			budgetHit = true
+		} else {
+			return nil, fmt.Errorf("core: run %s: %w", b.Name(), runErr)
+		}
+	}
 	if tracer != nil {
 		if err := tracer.Err(); err != nil {
 			return nil, fmt.Errorf("core: trace %s: %w", b.Name(), err)
 		}
 	}
-	if b.Check != nil && !opt.SkipCheck {
+	if b.Check != nil && !opt.SkipCheck && !budgetHit {
 		if err := b.Check(cpu); err != nil {
 			return nil, fmt.Errorf("core: validate %s: %w", b.Name(), err)
 		}
@@ -307,5 +333,23 @@ func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
 		TreeNodes: vts.TreeNodes, Deopts: vts.Deopts,
 		TreeIters: vts.TreeIters, TreeInstrs: vts.TreeInstrs,
 	}
-	return &Result{Benchmark: b, Report: rep, Wall: wall, Blocks: blocks, Traces: traces}, nil
+	return &Result{
+		Benchmark: b, Report: rep, Wall: wall, Blocks: blocks, Traces: traces,
+		BudgetExhausted: budgetHit,
+	}, nil
+}
+
+// CompileProgram wraps an already-linked program — typically one assembled
+// from user-submitted source — as a Compiled artifact. The benchmark shell
+// is versionless (Name() == name), has no reference Check, and carries the
+// program as a constant Build so the artifact behaves exactly like a
+// suite-compiled one everywhere downstream.
+func CompileProgram(name string, prog *asm.Program) *Compiled {
+	b := Benchmark{
+		Base:  name,
+		Kind:  KindApplication,
+		Descr: "user-submitted program",
+		Build: func() (*asm.Program, error) { return prog, nil },
+	}
+	return &Compiled{Benchmark: b, Prog: prog, Code: vm.Compile(prog)}
 }

@@ -2,9 +2,15 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"mmxdsp/internal/core"
+	"mmxdsp/internal/suite"
 )
 
 // FuzzParseRequest throws arbitrary bodies at the /run decoder. The decoder
@@ -56,6 +62,74 @@ func FuzzParseRequest(f *testing.F) {
 		}
 		if opt.Dispatch != req.dispatchMode() {
 			t.Fatalf("options dispatch %q != %q", opt.Dispatch, req.dispatchMode())
+		}
+	})
+}
+
+// FuzzAsmEndpoint drives fuzzed source listings through the full /asm
+// HTTP handler — decode, validation, assembly, simulation, marshal. The
+// handler must never panic or hang (a tight budget and deadline bound
+// every accepted program), and every answer must be well-formed JSON:
+// either an error object or a complete response envelope.
+func FuzzAsmEndpoint(f *testing.F) {
+	// Seeds: a real suite listing (the conformance corpus's shape), a
+	// terminating toy, a budget-bound spin, and malformed sources that
+	// must 400. One real program keeps per-exec cost low enough to fuzz.
+	if bench, ok := suite.ByName("fir.mmx"); ok {
+		if prog, err := bench.Build(); err == nil {
+			f.Add(prog.Source())
+		}
+	}
+	f.Add(".proc main\n\tprofon\n\tmov eax, 7\n\tprofoff\n\thalt\n")
+	f.Add(".proc main\nspin:\n\tadd eax, 1\n\tjmp spin\n")
+	f.Add("start:\n\tmov eax, 1\n\tfrobnicate eax\n")
+	f.Add(".hex __data deadbeef\n.proc main\n\thalt\n")
+	f.Add("")
+	f.Add("\x00\x01\x02")
+
+	// One server for the whole campaign: tight budget, short deadline, no
+	// result caching (identical inputs must re-execute to catch flakiness).
+	srv := New(Config{
+		AsmMaxInstrsCap:    200000,
+		MaxSourceBytes:     1 << 16,
+		DefaultTimeout:     2 * time.Second,
+		ResultCacheEntries: -1,
+	})
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, source string) {
+		body, err := json.Marshal(struct {
+			Source string `json:"source"`
+		}{source})
+		if err != nil {
+			t.Skip()
+		}
+		req := httptest.NewRequest(http.MethodPost, "/asm", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusGatewayTimeout, http.StatusInternalServerError:
+		default:
+			t.Fatalf("unexpected status %d: %.300s", rec.Code, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK {
+			var env AsmResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("200 body is not a response envelope: %v: %.300s", err, rec.Body.String())
+			}
+			if env.Report == nil || len(env.SourceHash) != 64 {
+				t.Fatalf("200 envelope incomplete: report=%v hash=%q", env.Report != nil, env.SourceHash)
+			}
+		} else {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("status %d body is not a structured error: %.300s", rec.Code, rec.Body.String())
+			}
 		}
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"mmxdsp/internal/core"
 	"mmxdsp/internal/profile"
@@ -145,6 +146,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	req.priority = parsePriority(r.Header.Get(PriorityHeader))
 	if req.MaxInstrs, err = s.capInstrs(req.MaxInstrs); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -157,11 +159,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tenant := TenantKey(r)
+	if err := s.tenants.Admit(tenant, time.Now()); err != nil {
+		s.writeQuotaError(w, err)
+		return
+	}
+	var retired int64
+	defer func() { s.tenants.Release(tenant, retired) }()
+
 	ctx, cancel := s.requestContext(r, req.timeout(s.cfg.DefaultTimeout))
 	defer cancel()
-	res, outcome, err := s.runResult(ctx, req)
+	res, outcome, err := s.runResult(ctx, req, &retired)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
@@ -181,9 +192,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // a hit replays stored bytes without touching admission or the
 // interpreter; a miss single-flights executeRun so concurrent identical
 // requests simulate once. With caching disabled every request executes.
-func (s *Server) runResult(ctx context.Context, req *RunRequest) (*CachedResult, ResultOutcome, error) {
+func (s *Server) runResult(ctx context.Context, req *RunRequest, retired *int64) (*CachedResult, ResultOutcome, error) {
 	if s.results == nil {
-		body, err := s.executeRun(ctx, req)
+		body, err := s.executeRun(ctx, req, retired)
 		if err != nil {
 			return nil, ResultBypass, err
 		}
@@ -191,15 +202,17 @@ func (s *Server) runResult(ctx context.Context, req *RunRequest) (*CachedResult,
 		return &CachedResult{Key: key, ETag: ETagFor(key, body), Body: body}, ResultBypass, nil
 	}
 	return s.results.Do(ctx, req.ResultKey(), func() ([]byte, error) {
-		return s.executeRun(ctx, req)
+		return s.executeRun(ctx, req, retired)
 	})
 }
 
 // executeRun is the uncached serving path: admission, compile (under the
 // admission slot), one interpreter run, marshal. The returned bytes are
-// exactly what goes on the wire.
-func (s *Server) executeRun(ctx context.Context, req *RunRequest) ([]byte, error) {
-	release, err := s.acquire(ctx)
+// exactly what goes on the wire. retired reports the instructions actually
+// simulated, for per-tenant quota debits (zero on cache hits, which never
+// reach here).
+func (s *Server) executeRun(ctx context.Context, req *RunRequest, retired *int64) ([]byte, error) {
+	release, err := s.acquire(ctx, req.priority)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +226,7 @@ func (s *Server) executeRun(ctx context.Context, req *RunRequest) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
+	*retired = int64(res.Report.DynamicInstructions)
 	s.metrics.recordRun(req.Program, res.Report.DynamicInstructions, res.Wall)
 	s.metrics.recordTraces(res.Traces)
 
@@ -265,6 +279,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	res, outcome, err := s.tableResult(ctx, req)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
@@ -323,7 +338,7 @@ func (s *Server) WarmSuite(ctx context.Context, modes []string) error {
 // fans out on an internal pool so the suite finishes in roughly
 // max-program time rather than summed time.
 func (s *Server) executeTable(ctx context.Context, req *RunRequest) ([]byte, error) {
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, req.priority)
 	if err != nil {
 		return nil, err
 	}

@@ -63,8 +63,10 @@ type metrics struct {
 	runsFailed expvar.Int
 	runsByName expvar.Map // per-benchmark completed run counts
 
-	rejected expvar.Int // 429s from admission-queue overflow
-	canceled expvar.Int // runs aborted by deadline/disconnect/drain
+	rejected   expvar.Int // 429s from admission-queue overflow
+	canceled   expvar.Int // runs aborted by deadline/disconnect/drain
+	tenantShed expvar.Int // 429s from per-tenant quotas (tenant.go)
+	asmRuns    expvar.Int // user-submitted programs actually simulated
 
 	instrs expvar.Int // simulated instructions retired across all runs
 	wallNS expvar.Int // host nanoseconds spent inside cpu.Run
@@ -129,6 +131,12 @@ type MetricsSnapshot struct {
 	RunsFailed   int64   `json:"runs_failed"`
 	InstrsPerSec float64 `json:"instrs_per_sec"`
 
+	// Multi-tenant accounting: user-submitted (/asm) runs simulated,
+	// per-tenant quota 429s, and per-tenant admission counters.
+	AsmRuns    int64                  `json:"asm_runs"`
+	TenantShed int64                  `json:"tenant_shed_429"`
+	Tenants    map[string]TenantStats `json:"tenants,omitempty"`
+
 	CacheEntries   int     `json:"cache_entries"`
 	CacheCapacity  int     `json:"cache_capacity"`
 	CacheHits      uint64  `json:"cache_hits"`
@@ -169,11 +177,15 @@ type MetricsSnapshot struct {
 func (s *Server) snapshot() MetricsSnapshot {
 	m := s.metrics
 	cs := s.cache.stats()
+	active, queued := s.admit.stats()
 	snap := MetricsSnapshot{
-		QueueDepth:     s.nQueued.Load(),
-		ActiveRuns:     s.nActive.Load(),
+		QueueDepth:     queued,
+		ActiveRuns:     active,
 		Rejected:       m.rejected.Value(),
 		Canceled:       m.canceled.Value(),
+		AsmRuns:        m.asmRuns.Value(),
+		TenantShed:     m.tenantShed.Value(),
+		Tenants:        s.tenants.Stats(),
 		RunsOK:         m.runsOK.Value(),
 		RunsFailed:     m.runsFailed.Value(),
 		InstrsPerSec:   m.instrsPerSec(),

@@ -50,6 +50,10 @@ type RunRequest struct {
 	// Config carries timing-model ablation overrides; nil selects the
 	// standard Pentium-with-MMX configuration.
 	Config *ConfigOverride `json:"config,omitempty"`
+
+	// priority is the admission priority resolved from PriorityHeader
+	// (interactive unless the client says "bulk"); not part of the JSON.
+	priority int
 }
 
 // ParseRunRequest decodes and validates a /run body. Program existence is
@@ -71,29 +75,37 @@ func ParseRunRequest(data []byte) (*RunRequest, error) {
 	if req.Program == "" {
 		return nil, fmt.Errorf("missing required field %q", "program")
 	}
-	switch req.Dispatch {
-	case "", "auto", core.DispatchBlock, core.DispatchTrace, core.DispatchPredecode, core.DispatchGeneric:
-	default:
-		return nil, fmt.Errorf("unknown dispatch mode %q (want auto, block, trace, predecode or generic)", req.Dispatch)
-	}
-	if req.MaxInstrs < 0 {
-		return nil, fmt.Errorf("negative max_instrs %d", req.MaxInstrs)
-	}
-	if req.TimeoutMS < 0 {
-		return nil, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
-	}
-	if c := req.Config; c != nil {
-		if c.MispredictPenalty < 0 || c.MispredictPenalty > 1000 {
-			return nil, fmt.Errorf("mispredict_penalty %d out of range [0, 1000]", c.MispredictPenalty)
-		}
-		if c.EmmsLatency != nil && (*c.EmmsLatency < 0 || *c.EmmsLatency > 10000) {
-			return nil, fmt.Errorf("emms_latency %d out of range [0, 10000]", *c.EmmsLatency)
-		}
-		if c.MMXMulLatency < 0 || c.MMXMulLatency > 10000 {
-			return nil, fmt.Errorf("mmx_mul_latency %d out of range [0, 10000]", c.MMXMulLatency)
-		}
+	if err := validateRunFields(req.Dispatch, req.MaxInstrs, req.TimeoutMS, req.Config); err != nil {
+		return nil, err
 	}
 	return &req, nil
+}
+
+// validateRunFields range-checks the execution knobs /run and /asm share.
+func validateRunFields(dispatch string, maxInstrs, timeoutMS int64, c *ConfigOverride) error {
+	switch dispatch {
+	case "", "auto", core.DispatchBlock, core.DispatchTrace, core.DispatchPredecode, core.DispatchGeneric:
+	default:
+		return fmt.Errorf("unknown dispatch mode %q (want auto, block, trace, predecode or generic)", dispatch)
+	}
+	if maxInstrs < 0 {
+		return fmt.Errorf("negative max_instrs %d", maxInstrs)
+	}
+	if timeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms %d", timeoutMS)
+	}
+	if c != nil {
+		if c.MispredictPenalty < 0 || c.MispredictPenalty > 1000 {
+			return fmt.Errorf("mispredict_penalty %d out of range [0, 1000]", c.MispredictPenalty)
+		}
+		if c.EmmsLatency != nil && (*c.EmmsLatency < 0 || *c.EmmsLatency > 10000) {
+			return fmt.Errorf("emms_latency %d out of range [0, 10000]", *c.EmmsLatency)
+		}
+		if c.MMXMulLatency < 0 || c.MMXMulLatency > 10000 {
+			return fmt.Errorf("mmx_mul_latency %d out of range [0, 10000]", c.MMXMulLatency)
+		}
+	}
+	return nil
 }
 
 // pentiumConfig resolves the override into a concrete timing-model config.

@@ -67,6 +67,18 @@ type Config struct {
 	// instruction budget, protecting the daemon from unbounded synthetic
 	// programs.
 	MaxInstrsCap int64
+	// AsmMaxInstrsCap caps (and defaults) POST /asm instruction budgets.
+	// User-submitted programs may loop forever, so this cap is always on:
+	// 0 selects DefaultAsmMaxInstrs, negative disables (trusted setups
+	// only). When MaxInstrsCap is also set the tighter bound wins.
+	AsmMaxInstrsCap int64
+	// MaxSourceBytes caps POST /asm source listings; beyond it the server
+	// answers 413. 0 selects DefaultMaxSourceBytes.
+	MaxSourceBytes int
+	// Tenant configures per-tenant accounting (rate, concurrency and
+	// instruction quotas) for /run and /asm; the zero value admits
+	// everything but still records per-tenant counters.
+	Tenant TenantLimits
 	// Lookup resolves program names; nil selects the suite registry.
 	// Tests substitute synthetic registries (e.g. non-terminating
 	// programs for cancellation coverage).
@@ -85,12 +97,11 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 
-	// sem is the worker pool: one token per concurrently executing run.
-	sem chan struct{}
-	// nQueued counts requests waiting for a token (the admission queue);
-	// nActive counts token holders.
-	nQueued  atomic.Int64
-	nActive  atomic.Int64
+	// admit is the worker pool: bounded concurrency plus a two-priority
+	// admission queue that sheds bulk traffic first (see admit.go).
+	admit *admitter
+	// tenants does per-tenant accounting and quota enforcement.
+	tenants  *TenantLimiter
 	draining atomic.Bool
 }
 
@@ -114,11 +125,18 @@ func New(cfg Config) *Server {
 	if cfg.Benchmarks == nil {
 		cfg.Benchmarks = suite.All
 	}
+	if cfg.AsmMaxInstrsCap == 0 {
+		cfg.AsmMaxInstrsCap = DefaultAsmMaxInstrs
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = DefaultMaxSourceBytes
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   newCodeCache(cfg.CacheEntries),
 		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.Workers),
+		admit:   newAdmitter(cfg.Workers, cfg.QueueDepth),
+		tenants: NewTenantLimiter(cfg.Tenant),
 	}
 	if cfg.ResultCacheEntries > 0 {
 		s.results = NewResultCache(cfg.ResultCacheEntries, cfg.ResultCacheDir)
@@ -126,6 +144,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/asm", s.handleAsm)
 	s.mux.HandleFunc("/table", s.handleTable)
 	s.mux.HandleFunc("/programs", s.handlePrograms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -145,39 +164,15 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// errQueueFull is returned by acquire when the admission queue is at
-// capacity; the handler maps it to 429.
-var errQueueFull = errors.New("admission queue full")
-
-// acquire admits one request into the worker pool, queueing up to
-// cfg.QueueDepth waiters. The release function must be called exactly once
-// after the run retires.
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
-	grabbed := func() func() {
-		s.nActive.Add(1)
-		return func() {
-			s.nActive.Add(-1)
-			<-s.sem
-		}
-	}
-	// Fast path: a worker slot is free, no queueing.
-	select {
-	case s.sem <- struct{}{}:
-		return grabbed(), nil
-	default:
-	}
-	if s.nQueued.Add(1) > int64(s.cfg.QueueDepth) {
-		s.nQueued.Add(-1)
+// acquire admits one request into the worker pool at the given priority,
+// queueing up to cfg.QueueDepth waiters (bulk capped to half). The release
+// function must be called exactly once after the run retires.
+func (s *Server) acquire(ctx context.Context, priority int) (release func(), err error) {
+	release, err = s.admit.acquire(ctx, priority)
+	if errors.Is(err, errQueueFull) {
 		s.metrics.rejected.Add(1)
-		return nil, errQueueFull
 	}
-	defer s.nQueued.Add(-1)
-	select {
-	case s.sem <- struct{}{}:
-		return grabbed(), nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return release, err
 }
 
 // requestContext derives the run context: the HTTP request context (which

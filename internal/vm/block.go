@@ -247,7 +247,7 @@ func (c *CPU) runBlocks(maxInstrs int64, bobs BlockObserver) error {
 // path; semantically one iteration of Run's default loop.
 func (c *CPU) stepDecoded(maxInstrs int64, ev *Event) error {
 	if c.executed >= maxInstrs {
-		return c.fault("instruction budget of %d exceeded", maxInstrs)
+		return c.budgetFault(maxInstrs)
 	}
 	pc := c.pc
 	ops := c.code.ops

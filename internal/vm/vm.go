@@ -11,6 +11,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,6 +20,14 @@ import (
 	"mmxdsp/internal/mem"
 	"mmxdsp/internal/mmx"
 )
+
+// ErrBudget marks a run halted by its instruction budget rather than by
+// HALT or a genuine fault. Budget exhaustion is exact — every dispatch
+// tier falls back to single stepping when the remaining budget is smaller
+// than its fused unit — so a budget-terminated machine state is
+// deterministic and callers may report it as a partial result
+// (errors.Is(err, ErrBudget)).
+var ErrBudget = errors.New("instruction budget exhausted")
 
 // DefaultPollInterval is the retirement-count granularity at which Run
 // invokes CPU.Poll when a poll hook is installed. At simulated throughputs
@@ -148,6 +157,19 @@ func (c *CPU) Executed() int64 { return c.executed }
 // Halted reports whether the program executed HALT.
 func (c *CPU) Halted() bool { return c.halted }
 
+// budgetFault produces the budget-exhaustion error, formatted like a
+// fault but wrapping ErrBudget so callers can classify it. All three
+// dispatch loops raise it through here, keeping the text identical across
+// modes (the dispatch-equivalence tests compare error strings).
+func (c *CPU) budgetFault(maxInstrs int64) error {
+	in := "?"
+	if c.pc >= 0 && c.pc < len(c.Prog.Insts) {
+		in = c.Prog.Insts[c.pc].String()
+	}
+	return fmt.Errorf("vm(%s) pc=%d [%s]: budget of %d instructions: %w",
+		c.Prog.Name, c.pc, in, maxInstrs, ErrBudget)
+}
+
 // fault produces an execution error with context.
 func (c *CPU) fault(format string, args ...any) error {
 	in := "?"
@@ -227,7 +249,7 @@ func (c *CPU) Run(maxInstrs int64) error {
 			pollAt = c.executed + c.pollInterval()
 		}
 		if c.executed >= maxInstrs {
-			return c.fault("instruction budget of %d exceeded", maxInstrs)
+			return c.budgetFault(maxInstrs)
 		}
 		pc := c.pc
 		if pc < 0 || pc >= len(ops) {
@@ -274,7 +296,7 @@ func (c *CPU) runGeneric(maxInstrs int64) error {
 			pollAt = c.executed + c.pollInterval()
 		}
 		if c.executed >= maxInstrs {
-			return c.fault("instruction budget of %d exceeded", maxInstrs)
+			return c.budgetFault(maxInstrs)
 		}
 		if c.pc < 0 || c.pc >= len(c.Prog.Insts) {
 			return c.fault("control transferred outside program (pc=%d)", c.pc)

@@ -10,6 +10,12 @@
 #                                                # sweep several benchmarks
 #   TARGET=coordinator BACKENDS=2 scripts/loadtest.sh
 #                                                # mmxfleet over 2 mmxd backends
+#   ASM=1 scripts/loadtest.sh                    # user-submitted /asm traffic:
+#                                                # a bulk tenant floods budgeted
+#                                                # spins while an interactive
+#                                                # tenant submits real source;
+#                                                # per-tenant req/s and shed
+#                                                # counts land in the artifact
 #   OUT=serve.json scripts/loadtest.sh           # custom artifact path
 #
 # Dependency-free by design: bash, curl and the Go toolchain only.
@@ -82,6 +88,89 @@ fi
 commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
 total=$(( clients * reqs ))
 rows=()
+
+# ASM=1: multi-tenant user-submitted-program load. A fixed source corpus
+# (a terminating straight-line program for the interactive tenant, a
+# budgeted infinite loop for the bulk tenant) exercises POST /asm under
+# two-tenant contention; the artifact records per-tenant throughput and
+# shed counts alongside the serving metrics.
+if [[ "${ASM:-0}" == "1" ]]; then
+    interactive_src='.proc main\n\tprofon\n\tmov eax, 0\n\tadd eax, 1\n\tadd eax, 2\n\tadd eax, 3\n\tprofoff\n\thalt\n'
+    bulk_src='.proc main\n\tprofon\nspin:\n\tadd eax, 1\n\tjmp spin\n'
+    interactive_body="{\"source\":\"$interactive_src\",\"name\":\"loadtest-interactive\",\"dispatch\":\"$dispatch\"}"
+    bulk_body="{\"source\":\"$bulk_src\",\"name\":\"loadtest-bulk\",\"dispatch\":\"$dispatch\",\"max_instrs\":2000000}"
+
+    # Cold-vs-warm /asm latency: the first submission assembles and runs,
+    # the second rides the source-hash-keyed caches.
+    cold_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$interactive_body" "$base/asm")"
+    warm_s="$(curl -sf -o /dev/null -w '%{time_total}' -X POST -d "$interactive_body" "$base/asm")"
+    echo "==> /asm: cold ${cold_s}s, warm ${warm_s}s ($dispatch dispatch, target=$target)"
+
+    echo "==> /asm: $clients bulk + $clients interactive clients x $reqs requests"
+    start_ns="$(date +%s%N)"
+    loadpids=()
+    for c in $(seq 1 "$clients"); do
+        (
+            for _ in $(seq 1 "$reqs"); do
+                curl -s -o /dev/null -w '%{http_code}\n' \
+                    -H 'X-Mmx-Tenant: bulk' -H 'X-Mmx-Priority: bulk' \
+                    -X POST -d "$bulk_body" "$base/asm"
+            done >"$workdir/bulk.$c"
+        ) &
+        loadpids+=("$!")
+        (
+            for _ in $(seq 1 "$reqs"); do
+                curl -s -o /dev/null -w '%{http_code}\n' \
+                    -H 'X-Mmx-Tenant: interactive' \
+                    -X POST -d "$interactive_body" "$base/asm"
+            done >"$workdir/interactive.$c"
+        ) &
+        loadpids+=("$!")
+    done
+    wait "${loadpids[@]}"
+    elapsed_ns=$(( $(date +%s%N) - start_ns ))
+
+    bulk_ok="$(cat "$workdir"/bulk.* | grep -c '^200$' || true)"
+    bulk_shed="$(cat "$workdir"/bulk.* | grep -c '^429$' || true)"
+    int_ok="$(cat "$workdir"/interactive.* | grep -c '^200$' || true)"
+    int_shed="$(cat "$workdir"/interactive.* | grep -c '^429$' || true)"
+    metrics="$(curl -sf "$base/metrics")"
+
+    elapsed_s="$(printf '%d.%09d' $((elapsed_ns / 1000000000)) $((elapsed_ns % 1000000000)))"
+    bulk_rps="$(awk -v n="$bulk_ok" -v s="$elapsed_s" 'BEGIN { printf "%.2f", n / s }')"
+    int_rps="$(awk -v n="$int_ok" -v s="$elapsed_s" 'BEGIN { printf "%.2f", n / s }')"
+    row="$(
+        printf '  {\n'
+        printf '    "commit": "%s",\n' "$commit"
+        printf '    "mode": "asm",\n'
+        printf '    "target": "%s",\n' "$target"
+        printf '    "backends": %d,\n' "$nbackends"
+        printf '    "dispatch": "%s",\n' "$dispatch"
+        printf '    "clients_per_tenant": %d,\n' "$clients"
+        printf '    "requests_per_tenant": %d,\n' "$total"
+        printf '    "elapsed_seconds": %s,\n' "$elapsed_s"
+        printf '    "cold_seconds": %s,\n' "$cold_s"
+        printf '    "warm_seconds": %s,\n' "$warm_s"
+        printf '    "bulk_ok": %d,\n' "$bulk_ok"
+        printf '    "bulk_shed_429": %d,\n' "$bulk_shed"
+        printf '    "bulk_requests_per_second": %s,\n' "$bulk_rps"
+        printf '    "interactive_ok": %d,\n' "$int_ok"
+        printf '    "interactive_shed_429": %d,\n' "$int_shed"
+        printf '    "interactive_requests_per_second": %s,\n' "$int_rps"
+        printf '    "metrics": %s\n' "$metrics"
+        printf '  }'
+    )"
+    rows+=("$row")
+    echo "==> /asm: bulk ${bulk_ok} ok / ${bulk_shed} shed (${bulk_rps} req/s), interactive ${int_ok} ok / ${int_shed} shed (${int_rps} req/s)"
+
+    {
+        printf '[\n'
+        printf '%s\n' "${rows[0]}"
+        printf ']\n'
+    } > "$out"
+    echo "==> wrote 1 row to $out"
+    exit 0
+fi
 
 for program in $programs; do
     body="{\"program\":\"$program\",\"dispatch\":\"$dispatch\",\"skip_check\":true}"
