@@ -13,8 +13,11 @@
 //	mmxd -result-cache-max-bytes 64000000    # bound the spill directory
 //	mmxd -warm-suite auto,trace # prefetch the suite table before serving
 //	mmxd -tenant-rate 10 -tenant-concurrent 4   # per-tenant quotas
+//	mmxd -campaign-dir /var/lib/mmxd/campaigns  # persist sweep artifacts
 //
-// Endpoints: POST /run, POST /asm, GET /table, GET /healthz, GET /metrics. See
+// Endpoints: POST /run, POST /asm, POST /campaign (plus GET/DELETE
+// /campaign/{id} and GET /campaign/{id}/events), GET /table, GET /healthz,
+// GET /metrics. See
 // internal/server for the request and response schemas, and the README's
 // "Running mmxd" section for examples.
 package main
@@ -57,6 +60,11 @@ func main() {
 		tenantConc   = flag.Int("tenant-concurrent", 0, "per-tenant concurrent-run cap (0 = unlimited)")
 		tenantQuota  = flag.Int64("tenant-instr-quota", 0, "per-tenant simulated-instruction quota per window (0 = unlimited)")
 		tenantWindow = flag.Duration("tenant-window", 0, "instruction-quota window (0 = 1m)")
+
+		campaignDir       = flag.String("campaign-dir", "", "persist completed campaigns' sensitivity artifacts here")
+		campaignMaxPoints = flag.Int("campaign-max-points", 0, "largest expanded campaign grid accepted (0 = 4096)")
+		campaignWorkers   = flag.Int("campaign-workers", 0, "concurrent points per campaign (0 = 4)")
+		campaignMaxActive = flag.Int("campaign-max-active", 0, "concurrently running campaigns before 429 (0 = 4)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -84,6 +92,11 @@ func main() {
 
 		MaxSourceBytes:  *maxSource,
 		AsmMaxInstrsCap: *asmMaxInstrs,
+
+		CampaignDir:       *campaignDir,
+		CampaignMaxPoints: *campaignMaxPoints,
+		CampaignWorkers:   *campaignWorkers,
+		CampaignMaxActive: *campaignMaxActive,
 		Tenant: server.TenantLimits{
 			Rate:          *tenantRate,
 			Burst:         *tenantBurst,

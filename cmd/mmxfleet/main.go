@@ -12,7 +12,9 @@
 //
 // Endpoints: POST /run (mmxd schema, routed), POST /asm (user-submitted
 // programs, routed by source hash), POST /suite (scatter-gather
-// Table 2/3), GET /programs, GET /healthz, GET /metrics. See
+// Table 2/3), POST /campaign (ablation grids sharded across the fleet,
+// plus GET/DELETE /campaign/{id} and GET /campaign/{id}/events),
+// GET /programs, GET /healthz, GET /metrics. See
 // internal/cluster for behavior, and the README's "Running a fleet"
 // section for a walkthrough.
 package main
@@ -46,6 +48,11 @@ func main() {
 		resCache      = flag.Int("result-cache", 512, "coordinator result-cache entries (a hit skips the backend round-trip; 0 disables)")
 		maxSource     = flag.Int("max-source-bytes", 0, "largest /asm source listing accepted (0 = 4 MiB default)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight requests")
+
+		campaignDir       = flag.String("campaign-dir", "", "persist completed campaigns' sensitivity artifacts here")
+		campaignMaxPoints = flag.Int("campaign-max-points", 0, "largest expanded campaign grid accepted (0 = 4096)")
+		campaignWorkers   = flag.Int("campaign-workers", 0, "concurrently routed points per campaign (0 = 2*backends+2)")
+		campaignMaxActive = flag.Int("campaign-max-active", 0, "concurrently running campaigns before 429 (0 = 4)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 || *backends == "" {
@@ -73,6 +80,11 @@ func main() {
 		MaxInflight:        *maxInflight,
 		MaxSourceBytes:     *maxSource,
 		ResultCacheEntries: resEntries,
+
+		CampaignDir:       *campaignDir,
+		CampaignMaxPoints: *campaignMaxPoints,
+		CampaignWorkers:   *campaignWorkers,
+		CampaignMaxActive: *campaignMaxActive,
 	})
 	if err != nil {
 		log.Fatalf("mmxfleet: %v", err)

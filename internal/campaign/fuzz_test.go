@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// FuzzParseCampaignRequest hammers the grid parser/expander with arbitrary
+// bytes. The invariants: no panic, no pathological allocation (absurd
+// grids must die by multiplication in validate, not by materialization in
+// expand — the harness's memory limit enforces this), and on success the
+// expansion is bounded, internally consistent and deterministic.
+func FuzzParseCampaignRequest(f *testing.F) {
+	seeds := []string{
+		// The happy path and its variations.
+		`{"programs":["fir.mmx"]}`,
+		`{"programs":["fir.mmx","fir.c"],"dispatch":["block","trace"]}`,
+		`{"programs":["fir.mmx"],"axes":{"l1_size":[8192,16384,32768],"mul_latency":[1,3,5]}}`,
+		`{"programs":["fir.mmx"],"axes":{"disable_pairing":[0,1],"disable_btb":[0,1],"perfect_cache":[0,1]}}`,
+		`{"programs":["fir.mmx"],"axes":{"line_bytes":[16,32,64],"l2_size":[262144,524288]},"max_instrs":100000,"skip_check":true,"timeout_ms":5000}`,
+		// Near-miss rejections steer the fuzzer at validation edges.
+		`{"programs":["fir.mmx"],"axes":{"l1_size":[12]}}`,
+		`{"programs":["fir.mmx"],"axes":{"mul_latency":[0]}}`,
+		`{"programs":["fir.mmx"],"axes":{"mul_latency":[1],"mmx_mul_latency":[2]}}`,
+		`{"programs":["fir.mmx"],"axes":{"l1_size":[1024],"line_bytes":[256]}}`,
+		`{"programs":["a","a"]}`,
+		`{"programs":[]}`,
+		`{"programs":["fir.mmx"],"bogus":true}`,
+		`{`,
+		``,
+		// A grid that must be rejected by counting, never expanded.
+		`{"programs":["a","b","c","d"],"dispatch":["block","trace","generic","predecode"],"axes":{"emms_latency":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16],"mul_latency":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16],"mispredict_penalty":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := DefaultLimits()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, points, err := ParseSpec(data, lim)
+		if err != nil {
+			if spec != nil || points != nil {
+				t.Fatal("non-nil results alongside an error")
+			}
+			return
+		}
+		if len(points) > lim.MaxPoints {
+			t.Fatalf("expansion %d exceeds MaxPoints %d", len(points), lim.MaxPoints)
+		}
+		if got := spec.PointCount(); got != len(points) {
+			t.Fatalf("PointCount %d != expanded %d", got, len(points))
+		}
+		for i, p := range points {
+			if p.Index != i {
+				t.Fatalf("point %d has Index %d", i, p.Index)
+			}
+			if len(p.Values) != len(spec.AxisOrder()) {
+				t.Fatalf("point %d has %d values for %d axes", i, len(p.Values), len(spec.AxisOrder()))
+			}
+			if len(p.Body) == 0 {
+				t.Fatalf("point %d has empty body", i)
+			}
+		}
+		// Determinism: re-parsing the same bytes renders the same grid.
+		_, again, err := ParseSpec(data, lim)
+		if err != nil {
+			t.Fatalf("second parse failed: %v", err)
+		}
+		for i := range points {
+			if string(points[i].Body) != string(again[i].Body) {
+				t.Fatalf("point %d body nondeterministic", i)
+			}
+		}
+	})
+}

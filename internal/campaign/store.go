@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Store is a bounded in-memory campaign registry. Active (running)
+// campaigns are capped — creation past the cap is a load-shed the tiers
+// answer with 429 — and terminal campaigns are retained FIFO up to a
+// separate cap so clients can poll results after completion.
+type Store struct {
+	mu         sync.Mutex
+	campaigns  map[string]*Campaign
+	order      []string // insertion order, for terminal eviction
+	maxActive  int
+	maxRetain  int
+	activeRuns int
+}
+
+// ErrTooManyCampaigns is returned when the active-campaign cap is hit;
+// tiers map it to 429.
+var ErrTooManyCampaigns = fmt.Errorf("too many active campaigns")
+
+// NewStore builds a store; non-positive caps select the defaults
+// (4 active, 64 retained).
+func NewStore(maxActive, maxRetain int) *Store {
+	if maxActive <= 0 {
+		maxActive = 4
+	}
+	if maxRetain <= 0 {
+		maxRetain = 64
+	}
+	return &Store{
+		campaigns: make(map[string]*Campaign),
+		maxActive: maxActive,
+		maxRetain: maxRetain,
+	}
+}
+
+// NewID returns a fresh 16-hex-char campaign ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("campaign: reading random ID: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Add registers a freshly created (running) campaign, enforcing the
+// active cap and evicting the oldest terminal campaigns past the
+// retention cap.
+func (s *Store) Add(c *Campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.activeRuns >= s.maxActive {
+		return ErrTooManyCampaigns
+	}
+	s.activeRuns++
+	s.campaigns[c.ID] = c
+	s.order = append(s.order, c.ID)
+	// Evict oldest terminal campaigns beyond the retention cap; running
+	// ones are never evicted.
+	for len(s.campaigns) > s.maxRetain {
+		evicted := false
+		for i, id := range s.order {
+			old := s.campaigns[id]
+			if old != nil && old.Terminal() {
+				delete(s.campaigns, id)
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return nil
+}
+
+// Settle marks a campaign's run finished, freeing its active slot. Safe
+// to call once per campaign (the runner's completion path).
+func (s *Store) Settle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.activeRuns > 0 {
+		s.activeRuns--
+	}
+}
+
+// Get looks a campaign up by ID.
+func (s *Store) Get(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// Active returns the number of running campaigns.
+func (s *Store) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeRuns
+}

@@ -19,12 +19,15 @@
 //	POST /run       route one benchmark run to a backend (mmxd schema)
 //	POST /asm       route one user-submitted program by source hash
 //	POST /suite     scatter-gather a full table run across the fleet
+//	POST /campaign  shard an ablation-sweep grid across the fleet
+//	                (plus GET/DELETE /campaign/{id}, GET /campaign/{id}/events)
 //	GET  /programs  capability discovery, proxied from the fleet
 //	GET  /healthz   coordinator liveness (503 when no backend is routable)
 //	GET  /metrics   fleet-wide snapshot (FleetMetrics)
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -33,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mmxdsp/internal/campaign"
 	"mmxdsp/internal/server"
 )
 
@@ -89,6 +93,19 @@ type Config struct {
 	// per-program reports through the same cache. Runs are deterministic,
 	// so cached bytes equal whatever a backend would recompute.
 	ResultCacheEntries int
+
+	// CampaignDir, when non-empty, persists completed campaigns'
+	// sensitivity artifacts under CampaignDir/<id>/ with atomic writes.
+	CampaignDir string
+	// CampaignMaxPoints bounds one campaign's expanded grid (default
+	// server.DefaultCampaignMaxPoints).
+	CampaignMaxPoints int
+	// CampaignWorkers bounds one campaign's concurrently routed points
+	// (default 2*routable backends + 2, resolved per campaign).
+	CampaignWorkers int
+	// CampaignMaxActive bounds concurrently running campaigns before
+	// POST /campaign answers 429 (default server.DefaultCampaignMaxActive).
+	CampaignMaxActive int
 
 	// Client issues backend requests; nil selects a pooled default with no
 	// overall timeout (per-request contexts bound each call).
@@ -149,6 +166,12 @@ type Coordinator struct {
 	programsMu sync.Mutex
 	programs   []string
 
+	// campaigns is the campaign registry; campaignCtx scopes running
+	// campaigns to the coordinator lifetime (canceled on drain).
+	campaigns      *campaign.Store
+	campaignCtx    context.Context
+	campaignCancel context.CancelFunc
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	proberWG sync.WaitGroup
@@ -160,11 +183,16 @@ func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("cluster: no backends configured")
 	}
-	c := &Coordinator{
-		cfg:     cfg,
-		metrics: newFleetMetrics(),
-		stop:    make(chan struct{}),
+	if cfg.CampaignMaxActive <= 0 {
+		cfg.CampaignMaxActive = server.DefaultCampaignMaxActive
 	}
+	c := &Coordinator{
+		cfg:       cfg,
+		metrics:   newFleetMetrics(),
+		stop:      make(chan struct{}),
+		campaigns: campaign.NewStore(cfg.CampaignMaxActive, 0),
+	}
+	c.campaignCtx, c.campaignCancel = context.WithCancel(context.Background())
 	if cfg.ResultCacheEntries > 0 {
 		c.results = server.NewResultCache(cfg.ResultCacheEntries, "")
 	}
@@ -185,6 +213,8 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("/run", c.handleRun)
 	c.mux.HandleFunc("/asm", c.handleAsm)
 	c.mux.HandleFunc("/suite", c.handleSuite)
+	c.mux.HandleFunc("/campaign", c.handleCampaign)
+	c.mux.HandleFunc("/campaign/", c.handleCampaignID)
 	c.mux.HandleFunc("/programs", c.handlePrograms)
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/metrics", c.handleMetrics)
@@ -205,8 +235,13 @@ func (c *Coordinator) Stop() {
 }
 
 // StartDrain flips the coordinator into drain mode: /healthz reports 503
-// and new requests are refused while in-flight ones finish.
-func (c *Coordinator) StartDrain() { c.draining.Store(true) }
+// and new requests are refused while in-flight ones finish. Running
+// campaigns are canceled so their point routing stops with the
+// coordinator.
+func (c *Coordinator) StartDrain() {
+	c.draining.Store(true)
+	c.campaignCancel()
+}
 
 // Handler returns the coordinator's HTTP handler. Every response carries
 // an X-Request-ID, propagated to (and echoed by) the backends a request is

@@ -6,7 +6,9 @@ package cluster
 import (
 	"expvar"
 	"net/http"
+	"time"
 
+	"mmxdsp/internal/campaign"
 	"mmxdsp/internal/server"
 )
 
@@ -30,6 +32,33 @@ type fleetMetrics struct {
 	resultHits      expvar.Int // result-cache hits (no backend round-trip)
 	resultMisses    expvar.Int // result-cache misses (routed to a backend)
 	resultCoalesced expvar.Int // requests that waited on an identical in-flight miss
+
+	// Campaign accounting: campaigns created, points settled by outcome,
+	// and a dedicated latency window for per-point wall times (points are
+	// batch work; they stay out of any interactive quantiles).
+	campaignsTotal         expvar.Int
+	campaignPoints         expvar.Int
+	campaignPointsCached   expvar.Int
+	campaignPointsFailed   expvar.Int
+	campaignPointsCanceled expvar.Int
+	campaignLatency        server.LatencyWindow
+}
+
+// recordCampaignPoint accounts one settled campaign point; it is the
+// campaign.RunnerConfig.OnPoint hook on the fleet tier.
+func (m *fleetMetrics) recordCampaignPoint(wall time.Duration, outcome string, cached bool) {
+	m.campaignPoints.Add(1)
+	switch outcome {
+	case campaign.PointFailed:
+		m.campaignPointsFailed.Add(1)
+	case campaign.PointCanceled:
+		m.campaignPointsCanceled.Add(1)
+	default:
+		if cached {
+			m.campaignPointsCached.Add(1)
+		}
+		m.campaignLatency.Add(wall)
+	}
 }
 
 // recordResult accounts one result-cache outcome for a routed /run or a
@@ -77,6 +106,17 @@ type FleetMetrics struct {
 	ResultCoalesced int64   `json:"result_cache_coalesced"`
 	ResultHitRate   float64 `json:"result_cache_hit_rate"`
 
+	// Campaign accounting. JSON names match the daemon tier so tooling
+	// extracts both the same way.
+	CampaignsActive        int64   `json:"campaigns_active"`
+	CampaignsTotal         int64   `json:"campaigns_total"`
+	CampaignPoints         int64   `json:"campaign_points_total"`
+	CampaignPointsCached   int64   `json:"campaign_points_cached"`
+	CampaignPointsFailed   int64   `json:"campaign_points_failed"`
+	CampaignPointsCanceled int64   `json:"campaign_points_canceled"`
+	CampaignPointWallP50   float64 `json:"campaign_point_wall_ms_p50"`
+	CampaignPointWallP99   float64 `json:"campaign_point_wall_ms_p99"`
+
 	Draining bool `json:"draining"`
 }
 
@@ -89,6 +129,10 @@ func (c *Coordinator) Snapshot() FleetMetrics {
 	var hitRate float64
 	if total := hits + coalesced + misses; total > 0 {
 		hitRate = float64(hits+coalesced) / float64(total)
+	}
+	var campP50, campP99 float64
+	if q := m.campaignLatency.Quantiles(0.50, 0.99); q != nil {
+		campP50, campP99 = q[0], q[1]
 	}
 	return FleetMetrics{
 		Backends:      c.Backends(),
@@ -111,6 +155,15 @@ func (c *Coordinator) Snapshot() FleetMetrics {
 		ResultMisses:    misses,
 		ResultCoalesced: coalesced,
 		ResultHitRate:   hitRate,
+
+		CampaignsActive:        int64(c.campaigns.Active()),
+		CampaignsTotal:         m.campaignsTotal.Value(),
+		CampaignPoints:         m.campaignPoints.Value(),
+		CampaignPointsCached:   m.campaignPointsCached.Value(),
+		CampaignPointsFailed:   m.campaignPointsFailed.Value(),
+		CampaignPointsCanceled: m.campaignPointsCanceled.Value(),
+		CampaignPointWallP50:   campP50,
+		CampaignPointWallP99:   campP99,
 
 		Draining: c.draining.Load(),
 	}

@@ -82,6 +82,10 @@ type Options struct {
 	Pentium *pentium.Config
 	// PerfectCache disables the cache model (ablation).
 	PerfectCache bool
+	// Cache overrides the memory-hierarchy geometry and penalties; nil
+	// selects the standard Pentium hierarchy. Ignored when PerfectCache
+	// is set. An invalid spec fails the run with its Validate error.
+	Cache *CacheSpec
 	// MaxInstrs bounds execution; 0 selects a generous default and
 	// negative values are rejected by Run.
 	MaxInstrs int64
@@ -295,7 +299,15 @@ func RunCompiled(comp *Compiled, opt Options) (*Result, error) {
 		cpu.Obs = profile.Tee(col, tracer)
 	}
 	if !opt.PerfectCache {
-		cpu.Hier = mem.NewHierarchy()
+		if opt.Cache != nil {
+			hier, err := opt.Cache.Hierarchy()
+			if err != nil {
+				return nil, fmt.Errorf("core: run %s: cache spec: %w", b.Name(), err)
+			}
+			cpu.Hier = hier
+		} else {
+			cpu.Hier = mem.NewHierarchy()
+		}
 	}
 	start := time.Now()
 	runErr := cpu.Run(opt.MaxInstrs)

@@ -26,6 +26,30 @@ type Cache struct {
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
+// CheckGeometry validates a cache geometry without building it: sizeBytes,
+// lineBytes and the implied set count must be powers of two with at least
+// one set, ways at least 1. Request-driven configurations (ablation sweeps
+// over cache geometry) validate here and answer 400 instead of letting
+// NewCache panic the daemon.
+func CheckGeometry(sizeBytes, ways, lineBytes int) error {
+	if ways < 1 {
+		return fmt.Errorf("cache ways must be >= 1, got %d", ways)
+	}
+	if !isPow2(lineBytes) {
+		return fmt.Errorf("cache line bytes must be a power of two, got %d", lineBytes)
+	}
+	if !isPow2(sizeBytes) {
+		return fmt.Errorf("cache size must be a power of two, got %d", sizeBytes)
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets < 1 || sets*ways*lineBytes != sizeBytes || !isPow2(sets) {
+		return fmt.Errorf(
+			"%d bytes / (%d ways * %d-byte lines) does not yield a power-of-two set count",
+			sizeBytes, ways, lineBytes)
+	}
+	return nil
+}
+
 // NewCache builds a cache of sizeBytes capacity with the given associativity
 // and line size. The geometry must be internally consistent — sizeBytes,
 // lineBytes and the implied set count must be powers of two, with at least
@@ -33,21 +57,10 @@ func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // through the bit-mask indexing, which is far worse than failing loudly at
 // construction.
 func NewCache(sizeBytes, ways, lineBytes int) *Cache {
-	if ways < 1 {
-		panic(fmt.Sprintf("mem: NewCache: ways must be >= 1, got %d", ways))
-	}
-	if !isPow2(lineBytes) {
-		panic(fmt.Sprintf("mem: NewCache: lineBytes must be a power of two, got %d", lineBytes))
-	}
-	if !isPow2(sizeBytes) {
-		panic(fmt.Sprintf("mem: NewCache: sizeBytes must be a power of two, got %d", sizeBytes))
+	if err := CheckGeometry(sizeBytes, ways, lineBytes); err != nil {
+		panic("mem: NewCache: " + err.Error())
 	}
 	sets := sizeBytes / (ways * lineBytes)
-	if sets < 1 || sets*ways*lineBytes != sizeBytes || !isPow2(sets) {
-		panic(fmt.Sprintf(
-			"mem: NewCache: %d bytes / (%d ways * %d-byte lines) does not yield a power-of-two set count",
-			sizeBytes, ways, lineBytes))
-	}
 	c := &Cache{
 		ways:    ways,
 		tags:    make([]uint32, sets*ways),
@@ -169,10 +182,18 @@ type Hierarchy struct {
 // NewHierarchy builds the default Pentium-with-MMX hierarchy:
 // 16 KB 4-way L1 data cache and 512 KB 4-way L2, 32-byte lines.
 func NewHierarchy() *Hierarchy {
+	return NewHierarchySized(16*1024, 4, 512*1024, 4, 32, DefaultPenalties())
+}
+
+// NewHierarchySized builds a hierarchy with explicit geometry and
+// penalties — the ablation-sweep entry point. Both levels share one line
+// size, matching the Pentium. Geometry must already satisfy CheckGeometry
+// for both levels (NewCache panics otherwise).
+func NewHierarchySized(l1Size, l1Ways, l2Size, l2Ways, lineBytes int, pen Penalties) *Hierarchy {
 	return &Hierarchy{
-		L1:  NewCache(16*1024, 4, 32),
-		L2:  NewCache(512*1024, 4, 32),
-		Pen: DefaultPenalties(),
+		L1:  NewCache(l1Size, l1Ways, lineBytes),
+		L2:  NewCache(l2Size, l2Ways, lineBytes),
+		Pen: pen,
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"mmxdsp/internal/campaign"
 	"mmxdsp/internal/core"
 )
 
@@ -20,15 +21,17 @@ import (
 // unbounded growth.
 const latencyWindowSize = 1024
 
-// latencyWindow is a fixed-size ring of recent request wall times.
-type latencyWindow struct {
+// LatencyWindow is a fixed-size ring of recent wall times; both tiers
+// derive their p50/p99 gauges from one.
+type LatencyWindow struct {
 	mu   sync.Mutex
 	buf  [latencyWindowSize]float64 // milliseconds
 	n    int                        // filled slots
 	next int                        // ring cursor
 }
 
-func (l *latencyWindow) add(d time.Duration) {
+// Add records one wall-time sample.
+func (l *LatencyWindow) Add(d time.Duration) {
 	ms := float64(d.Nanoseconds()) / 1e6
 	l.mu.Lock()
 	l.buf[l.next] = ms
@@ -39,9 +42,9 @@ func (l *latencyWindow) add(d time.Duration) {
 	l.mu.Unlock()
 }
 
-// quantiles returns the requested quantiles (0..1) in milliseconds, nil
+// Quantiles returns the requested quantiles (0..1) in milliseconds, nil
 // when the window is empty.
-func (l *latencyWindow) quantiles(qs ...float64) []float64 {
+func (l *LatencyWindow) Quantiles(qs ...float64) []float64 {
 	l.mu.Lock()
 	samples := append([]float64(nil), l.buf[:l.n]...)
 	l.mu.Unlock()
@@ -80,7 +83,18 @@ type metrics struct {
 	traceIters   expvar.Int
 	traceExits   expvar.Int
 
-	latency latencyWindow
+	// Campaign accounting: campaigns created, points settled by outcome,
+	// and a separate latency window for per-point wall times (campaign
+	// points are batch work; mixing them into the request window would
+	// skew interactive p99s).
+	campaignsTotal         expvar.Int
+	campaignPoints         expvar.Int
+	campaignPointsCached   expvar.Int
+	campaignPointsFailed   expvar.Int
+	campaignPointsCanceled expvar.Int
+	campaignLatency        LatencyWindow
+
+	latency LatencyWindow
 }
 
 func newMetrics() *metrics {
@@ -95,7 +109,7 @@ func (m *metrics) recordRun(name string, instrs uint64, wall time.Duration) {
 	m.runsByName.Add(name, 1)
 	m.instrs.Add(int64(instrs))
 	m.wallNS.Add(wall.Nanoseconds())
-	m.latency.add(wall)
+	m.latency.Add(wall)
 }
 
 // recordTraces folds one run's trace-dispatch stats into the aggregates.
@@ -109,6 +123,23 @@ func (m *metrics) recordTraces(ts core.TraceStats) {
 	m.traceDeopts.Add(int64(ts.Deopts))
 	m.traceIters.Add(int64(ts.Iters))
 	m.traceExits.Add(int64(ts.Exits))
+}
+
+// recordCampaignPoint accounts one settled campaign point; it is the
+// campaign.RunnerConfig.OnPoint hook.
+func (m *metrics) recordCampaignPoint(wall time.Duration, outcome string, cached bool) {
+	m.campaignPoints.Add(1)
+	switch outcome {
+	case campaign.PointFailed:
+		m.campaignPointsFailed.Add(1)
+	case campaign.PointCanceled:
+		m.campaignPointsCanceled.Add(1)
+	default:
+		if cached {
+			m.campaignPointsCached.Add(1)
+		}
+		m.campaignLatency.Add(wall)
+	}
 }
 
 // instrsPerSec returns the aggregate simulated throughput over all served
@@ -165,6 +196,17 @@ type MetricsSnapshot struct {
 	TraceDeopts      int64   `json:"trace_deopts"`
 	TraceSideExitPct float64 `json:"trace_side_exit_pct"`
 
+	// Campaign accounting: running campaigns, lifetime campaigns, and
+	// settled points by outcome with their own wall-time quantiles.
+	CampaignsActive        int64   `json:"campaigns_active"`
+	CampaignsTotal         int64   `json:"campaigns_total"`
+	CampaignPoints         int64   `json:"campaign_points_total"`
+	CampaignPointsCached   int64   `json:"campaign_points_cached"`
+	CampaignPointsFailed   int64   `json:"campaign_points_failed"`
+	CampaignPointsCanceled int64   `json:"campaign_points_canceled"`
+	CampaignPointWallP50   float64 `json:"campaign_point_wall_ms_p50"`
+	CampaignPointWallP99   float64 `json:"campaign_point_wall_ms_p99"`
+
 	WallMSP50 float64 `json:"wall_ms_p50"`
 	WallMSP99 float64 `json:"wall_ms_p99"`
 
@@ -216,8 +258,17 @@ func (s *Server) snapshot() MetricsSnapshot {
 	if total := m.traceIters.Value() + m.traceExits.Value(); total > 0 {
 		snap.TraceSideExitPct = 100 * float64(m.traceExits.Value()) / float64(total)
 	}
-	if q := m.latency.quantiles(0.50, 0.99); q != nil {
+	if q := m.latency.Quantiles(0.50, 0.99); q != nil {
 		snap.WallMSP50, snap.WallMSP99 = q[0], q[1]
+	}
+	snap.CampaignsActive = int64(s.campaigns.Active())
+	snap.CampaignsTotal = m.campaignsTotal.Value()
+	snap.CampaignPoints = m.campaignPoints.Value()
+	snap.CampaignPointsCached = m.campaignPointsCached.Value()
+	snap.CampaignPointsFailed = m.campaignPointsFailed.Value()
+	snap.CampaignPointsCanceled = m.campaignPointsCanceled.Value()
+	if q := m.campaignLatency.Quantiles(0.50, 0.99); q != nil {
+		snap.CampaignPointWallP50, snap.CampaignPointWallP99 = q[0], q[1]
 	}
 	m.runsByName.Do(func(kv expvar.KeyValue) {
 		if v, ok := kv.Value.(*expvar.Int); ok {

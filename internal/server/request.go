@@ -31,6 +31,49 @@ type ConfigOverride struct {
 	EmmsLatency       *int `json:"emms_latency,omitempty"`
 	MMXMulLatency     int  `json:"mmx_mul_latency,omitempty"`
 	PerfectCache      bool `json:"perfect_cache,omitempty"`
+
+	// Cache-hierarchy ablation. Zero geometry fields keep the Pentium
+	// defaults (16 KB 4-way L1, 512 KB 4-way L2, 32-byte lines); the
+	// penalty pointers follow the EmmsLatency convention (nil = paper
+	// value, 0 = free). All are range- and geometry-checked at parse
+	// time so a bad grid answers 400 instead of panicking a worker.
+	L1Size            int  `json:"l1_size,omitempty"`
+	L1Ways            int  `json:"l1_ways,omitempty"`
+	L2Size            int  `json:"l2_size,omitempty"`
+	L2Ways            int  `json:"l2_ways,omitempty"`
+	LineBytes         int  `json:"line_bytes,omitempty"`
+	DCacheMissPenalty *int `json:"dcache_miss_penalty,omitempty"`
+	L2AccessPenalty   *int `json:"l2_access_penalty,omitempty"`
+	L2MissPenalty     *int `json:"l2_miss_penalty,omitempty"`
+}
+
+// hasCacheOverride reports whether any cache-hierarchy field departs from
+// the defaults; default-config requests stay on the exact default path.
+func (c *ConfigOverride) hasCacheOverride() bool {
+	return c != nil && (c.L1Size != 0 || c.L1Ways != 0 || c.L2Size != 0 ||
+		c.L2Ways != 0 || c.LineBytes != 0 || c.DCacheMissPenalty != nil ||
+		c.L2AccessPenalty != nil || c.L2MissPenalty != nil)
+}
+
+// cacheSpec resolves the override's cache fields into a core.CacheSpec.
+func (c *ConfigOverride) cacheSpec() core.CacheSpec {
+	spec := core.DefaultCacheSpec()
+	if c == nil {
+		return spec
+	}
+	spec.L1Size, spec.L1Ways = c.L1Size, c.L1Ways
+	spec.L2Size, spec.L2Ways = c.L2Size, c.L2Ways
+	spec.LineBytes = c.LineBytes
+	if c.DCacheMissPenalty != nil {
+		spec.DCacheMiss = *c.DCacheMissPenalty
+	}
+	if c.L2AccessPenalty != nil {
+		spec.L2Access = *c.L2AccessPenalty
+	}
+	if c.L2MissPenalty != nil {
+		spec.L2Miss = *c.L2MissPenalty
+	}
+	return spec
 }
 
 // RunRequest is the JSON body of POST /run.
@@ -104,6 +147,11 @@ func validateRunFields(dispatch string, maxInstrs, timeoutMS int64, c *ConfigOve
 		if c.MMXMulLatency < 0 || c.MMXMulLatency > 10000 {
 			return fmt.Errorf("mmx_mul_latency %d out of range [0, 10000]", c.MMXMulLatency)
 		}
+		if c.hasCacheOverride() {
+			if err := c.cacheSpec().Validate(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -138,7 +186,7 @@ func (r *RunRequest) dispatchMode() string {
 // request lifecycle (deadline, client disconnect, server drain).
 func (r *RunRequest) options(ctx context.Context) core.Options {
 	cfg := r.pentiumConfig()
-	return core.Options{
+	opt := core.Options{
 		Pentium:      &cfg,
 		PerfectCache: r.Config != nil && r.Config.PerfectCache,
 		MaxInstrs:    r.MaxInstrs,
@@ -146,6 +194,11 @@ func (r *RunRequest) options(ctx context.Context) core.Options {
 		Dispatch:     r.dispatchMode(),
 		Ctx:          ctx,
 	}
+	if r.Config.hasCacheOverride() {
+		spec := r.Config.cacheSpec()
+		opt.Cache = &spec
+	}
+	return opt
 }
 
 // configKey renders the canonical cache-key component for the request's
@@ -153,9 +206,10 @@ func (r *RunRequest) options(ctx context.Context) core.Options {
 func (r *RunRequest) configKey() string {
 	cfg := r.pentiumConfig()
 	perfect := r.Config != nil && r.Config.PerfectCache
-	return fmt.Sprintf("mp=%d|np=%t|nb=%t|el=%d|mm=%d|pc=%t",
+	return fmt.Sprintf("mp=%d|np=%t|nb=%t|el=%d|mm=%d|pc=%t|%s",
 		cfg.MispredictPenalty, cfg.DisablePairing, cfg.DisableBTB,
-		cfg.EmmsLatency, cfg.MMXMulLatency, perfect)
+		cfg.EmmsLatency, cfg.MMXMulLatency, perfect,
+		r.Config.cacheSpec().Key())
 }
 
 // CacheKey returns the canonical affinity key for the request: the same

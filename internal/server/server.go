@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mmxdsp/internal/campaign"
 	"mmxdsp/internal/core"
 	"mmxdsp/internal/suite"
 )
@@ -79,6 +80,20 @@ type Config struct {
 	// instruction quotas) for /run and /asm; the zero value admits
 	// everything but still records per-tenant counters.
 	Tenant TenantLimits
+	// CampaignDir, when non-empty, persists completed campaigns'
+	// sensitivity artifacts (points.csv + sensitivity.md) under
+	// CampaignDir/<id>/ with atomic writes.
+	CampaignDir string
+	// CampaignMaxPoints bounds one campaign's expanded grid (default
+	// DefaultCampaignMaxPoints).
+	CampaignMaxPoints int
+	// CampaignWorkers bounds one campaign's concurrent points (default
+	// DefaultCampaignWorkers); points still queue through the ordinary
+	// admission pool.
+	CampaignWorkers int
+	// CampaignMaxActive bounds concurrently running campaigns (default
+	// DefaultCampaignMaxActive); beyond it POST /campaign answers 429.
+	CampaignMaxActive int
 	// Lookup resolves program names; nil selects the suite registry.
 	// Tests substitute synthetic registries (e.g. non-terminating
 	// programs for cancellation coverage).
@@ -103,6 +118,13 @@ type Server struct {
 	// tenants does per-tenant accounting and quota enforcement.
 	tenants  *TenantLimiter
 	draining atomic.Bool
+
+	// campaigns is the campaign registry; campaignCtx scopes running
+	// campaigns to the server lifetime (canceled on drain, so campaigns
+	// stop with the daemon instead of outliving its HTTP requests).
+	campaigns      *campaign.Store
+	campaignCtx    context.Context
+	campaignCancel context.CancelFunc
 }
 
 // New builds a Server from the configuration.
@@ -131,13 +153,21 @@ func New(cfg Config) *Server {
 	if cfg.MaxSourceBytes <= 0 {
 		cfg.MaxSourceBytes = DefaultMaxSourceBytes
 	}
-	s := &Server{
-		cfg:     cfg,
-		cache:   newCodeCache(cfg.CacheEntries),
-		metrics: newMetrics(),
-		admit:   newAdmitter(cfg.Workers, cfg.QueueDepth),
-		tenants: NewTenantLimiter(cfg.Tenant),
+	if cfg.CampaignWorkers <= 0 {
+		cfg.CampaignWorkers = DefaultCampaignWorkers
 	}
+	if cfg.CampaignMaxActive <= 0 {
+		cfg.CampaignMaxActive = DefaultCampaignMaxActive
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     newCodeCache(cfg.CacheEntries),
+		metrics:   newMetrics(),
+		admit:     newAdmitter(cfg.Workers, cfg.QueueDepth),
+		tenants:   NewTenantLimiter(cfg.Tenant),
+		campaigns: campaign.NewStore(cfg.CampaignMaxActive, 0),
+	}
+	s.campaignCtx, s.campaignCancel = context.WithCancel(context.Background())
 	if cfg.ResultCacheEntries > 0 {
 		s.results = NewResultCache(cfg.ResultCacheEntries, cfg.ResultCacheDir)
 		s.results.SetSpillLimits(cfg.ResultCacheSpillMaxBytes, cfg.ResultCacheSpillMaxFiles)
@@ -145,6 +175,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/asm", s.handleAsm)
+	s.mux.HandleFunc("/campaign", s.handleCampaign)
+	s.mux.HandleFunc("/campaign/", s.handleCampaignID)
 	s.mux.HandleFunc("/table", s.handleTable)
 	s.mux.HandleFunc("/programs", s.handlePrograms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -158,8 +190,13 @@ func (s *Server) Handler() http.Handler { return WithRequestID(s.mux) }
 // StartDrain flips the server into drain mode: /healthz reports 503 so
 // load balancers stop routing, and new work is refused with 503 while
 // requests already admitted run to completion (http.Server.Shutdown then
-// waits for those). cmd/mmxd calls this on SIGTERM/SIGINT.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// waits for those). Running campaigns are canceled — their points stop
+// through the same context plumbing as any canceled run. cmd/mmxd calls
+// this on SIGTERM/SIGINT.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.campaignCancel()
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -118,7 +118,9 @@ func getMetrics(t *testing.T, url string) server.MetricsSnapshot {
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	// Generous: under a full-suite run on a small host, compiling the
+	// program behind the awaited condition can itself take seconds.
+	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
 		if cond() {
 			return

@@ -36,8 +36,10 @@ echo "==> go test -run 'TestServedReportsMatchDirectRuns|TestResultCacheServesId
 go test -run 'TestServedReportsMatchDirectRuns|TestResultCacheServesIdenticalBytes|TestDaemonSIGTERMDrain|TestDaemonResultCacheSpillSurvivesRestart' .
 
 # The fleet end-to-end suite: a coordinator over real mmxd backends serves
-# the whole suite byte-identical, survives a backend dying mid-suite, and
-# keeps repeat requests affine to one warm cache.
+# the whole suite byte-identical, survives a backend dying mid-suite (and
+# mid-campaign), keeps repeat requests affine to one warm cache, and shards
+# a 216-point ablation campaign with artifacts byte-identical to a
+# single-backend reference run.
 echo "==> go test -run 'TestFleet' ./internal/cluster"
 go test -run 'TestFleet' ./internal/cluster
 
@@ -52,6 +54,8 @@ echo "==> go test -run '^$' -fuzz FuzzAsmEndpoint -fuzztime 5s ./internal/server
 go test -run '^$' -fuzz FuzzAsmEndpoint -fuzztime 5s ./internal/server >/dev/null
 echo "==> go test -run '^$' -fuzz FuzzParseSuiteRequest -fuzztime 5s ./internal/cluster"
 go test -run '^$' -fuzz FuzzParseSuiteRequest -fuzztime 5s ./internal/cluster >/dev/null
+echo "==> go test -run '^$' -fuzz FuzzParseCampaignRequest -fuzztime 5s ./internal/campaign"
+go test -run '^$' -fuzz FuzzParseCampaignRequest -fuzztime 5s ./internal/campaign >/dev/null
 echo "==> go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium"
 go test -run '^$' -fuzz FuzzDispatchThreeWay -fuzztime 5s ./internal/pentium >/dev/null
 

@@ -10,6 +10,11 @@
 #                                                # sweep several benchmarks
 #   TARGET=coordinator BACKENDS=2 scripts/loadtest.sh
 #                                                # mmxfleet over 2 mmxd backends
+#   CAMPAIGN=1 scripts/loadtest.sh               # ablation campaign: a 48-point
+#                                                # 3-axis grid, run cold then
+#                                                # re-run against the warm result
+#                                                # cache; points/s and cache-hit
+#                                                # rate land in the artifact
 #   ASM=1 scripts/loadtest.sh                    # user-submitted /asm traffic:
 #                                                # a bulk tenant floods budgeted
 #                                                # spins while an interactive
@@ -88,6 +93,86 @@ fi
 commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
 total=$(( clients * reqs ))
 rows=()
+
+# CAMPAIGN=1: ablation-campaign load. One 3-axis, 48-point grid runs cold
+# (every point simulated), then the identical grid runs again against the
+# warm result cache; the artifact records points/s for both passes and the
+# re-run's cache-hit rate (1.0 when every point was served from cache).
+if [[ "${CAMPAIGN:-0}" == "1" ]]; then
+    spec='{"programs":["fir.mmx"],"dispatch":["block"],"axes":{"mul_latency":[1,2,3,4],"emms_latency":[0,5,10,15],"mispredict_penalty":[2,4,6]},"skip_check":true}'
+
+    # run_campaign POSTs the spec, polls the campaign resource to
+    # completion and prints "<points> <cached> <failed>".
+    run_campaign() {
+        local resp id compact status
+        resp="$(curl -sf -X POST -d "$spec" "$base/campaign")"
+        id="$(printf '%s' "$resp" | tr -d ' \n\t' | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')"
+        if [[ -z "$id" ]]; then
+            echo "loadtest.sh: POST /campaign returned no id: $resp" >&2
+            return 1
+        fi
+        for _ in $(seq 1 600); do
+            compact="$(curl -sf "$base/campaign/$id" | tr -d ' \n\t')"
+            status="$(printf '%s' "$compact" | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')"
+            if [[ "$status" != "running" ]]; then
+                printf '%s %s %s\n' \
+                    "$(printf '%s' "$compact" | sed -n 's/.*"done":\([0-9]*\).*/\1/p')" \
+                    "$(printf '%s' "$compact" | sed -n 's/.*"cached":\([0-9]*\).*/\1/p')" \
+                    "$(printf '%s' "$compact" | sed -n 's/.*"failed":\([0-9]*\).*/\1/p')"
+                return 0
+            fi
+            sleep 0.1
+        done
+        echo "loadtest.sh: campaign $id never finished" >&2
+        return 1
+    }
+
+    echo "==> /campaign: cold 48-point grid (target=$target)"
+    start_ns="$(date +%s%N)"
+    read -r cold_done cold_cached cold_failed <<<"$(run_campaign)"
+    cold_ns=$(( $(date +%s%N) - start_ns ))
+
+    echo "==> /campaign: identical re-run against the warm result cache"
+    start_ns="$(date +%s%N)"
+    read -r warm_done warm_cached warm_failed <<<"$(run_campaign)"
+    warm_ns=$(( $(date +%s%N) - start_ns ))
+
+    metrics="$(curl -sf "$base/metrics")"
+    cold_s="$(printf '%d.%09d' $((cold_ns / 1000000000)) $((cold_ns % 1000000000)))"
+    warm_s="$(printf '%d.%09d' $((warm_ns / 1000000000)) $((warm_ns % 1000000000)))"
+    cold_pps="$(awk -v n="$cold_done" -v s="$cold_s" 'BEGIN { printf "%.2f", n / s }')"
+    warm_pps="$(awk -v n="$warm_done" -v s="$warm_s" 'BEGIN { printf "%.2f", n / s }')"
+    rerun_hit_rate="$(awk -v c="$warm_cached" -v n="$warm_done" 'BEGIN { if (n > 0) printf "%.3f", c / n; else print 0 }')"
+    row="$(
+        printf '  {\n'
+        printf '    "commit": "%s",\n' "$commit"
+        printf '    "mode": "campaign",\n'
+        printf '    "target": "%s",\n' "$target"
+        printf '    "backends": %d,\n' "$nbackends"
+        printf '    "points": %d,\n' "$cold_done"
+        printf '    "cold_seconds": %s,\n' "$cold_s"
+        printf '    "cold_points_per_second": %s,\n' "$cold_pps"
+        printf '    "cold_cached": %d,\n' "$cold_cached"
+        printf '    "cold_failed": %d,\n' "$cold_failed"
+        printf '    "rerun_seconds": %s,\n' "$warm_s"
+        printf '    "rerun_points_per_second": %s,\n' "$warm_pps"
+        printf '    "rerun_cached": %d,\n' "$warm_cached"
+        printf '    "rerun_failed": %d,\n' "$warm_failed"
+        printf '    "rerun_cache_hit_rate": %s,\n' "$rerun_hit_rate"
+        printf '    "metrics": %s\n' "$metrics"
+        printf '  }'
+    )"
+    rows+=("$row")
+    echo "==> /campaign: cold ${cold_pps} points/s, re-run ${warm_pps} points/s (hit rate ${rerun_hit_rate})"
+
+    {
+        printf '[\n'
+        printf '%s\n' "${rows[0]}"
+        printf ']\n'
+    } > "$out"
+    echo "==> wrote 1 row to $out"
+    exit 0
+fi
 
 # ASM=1: multi-tenant user-submitted-program load. A fixed source corpus
 # (a terminating straight-line program for the interactive tenant, a
